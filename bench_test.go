@@ -1,0 +1,311 @@
+// Package ags_test holds the repository-level benchmarks: one benchmark per
+// paper table/figure, each timing the computational kernel that experiment
+// stresses (the full row generators live in cmd/ags-bench; these benchmarks
+// keep per-iteration cost small so `go test -bench=.` finishes quickly).
+package ags_test
+
+import (
+	"sync"
+	"testing"
+
+	"ags/internal/camera"
+	"ags/internal/codec"
+	"ags/internal/covis"
+	"ags/internal/gauss"
+	"ags/internal/hw/area"
+	"ags/internal/hw/dram"
+	"ags/internal/hw/engines"
+	"ags/internal/hw/gpe"
+	"ags/internal/hw/platform"
+	"ags/internal/metrics"
+	"ags/internal/nnlite"
+	"ags/internal/scene"
+	"ags/internal/slam"
+	"ags/internal/splat"
+	"ags/internal/tracker"
+	"ags/internal/vecmath"
+)
+
+// Shared fixtures, built once.
+var (
+	fixOnce  sync.Once
+	fixSeq   *scene.Sequence
+	fixCloud *gauss.Cloud
+	fixCam   camera.Camera
+	fixRes   *splat.Result
+	fixTrace *sharedTraces
+)
+
+type sharedTraces struct {
+	base *slam.Result
+	ags  *slam.Result
+}
+
+func fixtures(b *testing.B) {
+	b.Helper()
+	fixOnce.Do(func() {
+		fixSeq = scene.MustGenerate("Desk", scene.Config{Width: 64, Height: 48, Frames: 8, Seed: 1})
+		cfg := slam.DefaultConfig(64, 48)
+		cfg.TrackIters = 10
+		cfg.Mapper.MapIters = 5
+		cfg.Mapper.DensifyStride = 2
+		base, err := slam.Run(cfg, fixSeq)
+		if err != nil {
+			panic(err)
+		}
+		acfg := cfg
+		acfg.EnableMAT, acfg.EnableGCM = true, true
+		ags, err := slam.Run(acfg, fixSeq)
+		if err != nil {
+			panic(err)
+		}
+		fixTrace = &sharedTraces{base: base, ags: ags}
+		fixCloud = base.Cloud
+		fixCam = camera.Camera{Intr: fixSeq.Intr, Pose: base.Poses[4]}
+		fixRes = splat.Render(fixCloud, fixCam, splat.Options{Workers: 1})
+	})
+}
+
+// BenchmarkTable1Categories times one end-to-end frame step of the AGS
+// pipeline — the per-frame latency Table 1 compares across SLAM categories.
+func BenchmarkTable1Categories(b *testing.B) {
+	fixtures(b)
+	cfg := slam.AGSConfig(64, 48)
+	cfg.Mapper.DensifyStride = 2
+	cfg.Mapper.MapIters = 5
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sys := slam.New(cfg, fixSeq.Intr)
+		for f := 0; f < 2; f++ {
+			if err := sys.ProcessFrame(fixSeq.Frames[f]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkFig3Breakdown times the baseline tracking kernel whose dominance
+// Fig. 3 profiles: one render+pose-backward iteration.
+func BenchmarkFig3Breakdown(b *testing.B) {
+	fixtures(b)
+	lc := splat.DefaultTrackingLoss()
+	target := fixSeq.Frames[4]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := splat.Render(fixCloud, fixCam, splat.Options{Workers: 1})
+		splat.Backward(fixCloud, fixCam, res, target, lc, splat.BackwardOptions{PoseGrads: true, Workers: 1})
+	}
+}
+
+// BenchmarkFig4IterSweep times one fine-grained refinement iteration (the
+// unit Fig. 4 sweeps).
+func BenchmarkFig4IterSweep(b *testing.B) {
+	fixtures(b)
+	ref := tracker.NewGSRefiner()
+	ref.Workers = 1
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ref.Refine(fixCloud, fixSeq.Intr, fixSeq.Frames[4], fixCam.Pose, 1)
+	}
+}
+
+// BenchmarkFig5Contribution times a contribution-logged render (the
+// measurement behind Fig. 5).
+func BenchmarkFig5Contribution(b *testing.B) {
+	fixtures(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		splat.Render(fixCloud, fixCam, splat.Options{
+			LogContribution: true, ThreshAlpha: 1.0 / 255, Workers: 1,
+		})
+	}
+}
+
+// BenchmarkFig6Similarity times the covisibility comparison underlying the
+// per-level grouping of Fig. 6.
+func BenchmarkFig6Similarity(b *testing.B) {
+	fixtures(b)
+	det := covis.NewDetector()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := det.Compare(fixSeq.Frames[0].Color, fixSeq.Frames[1].Color); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable2ATE times trajectory evaluation (alignment + RMSE).
+func BenchmarkTable2ATE(b *testing.B) {
+	fixtures(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := metrics.ATERMSE(fixTrace.base.Poses, fixTrace.base.GT); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig14PSNR times rendering + PSNR evaluation of one frame.
+func BenchmarkFig14PSNR(b *testing.B) {
+	fixtures(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := splat.Render(fixCloud, fixCam, splat.Options{Workers: 1})
+		if _, err := metrics.PSNR(res.Color, fixSeq.Frames[4].Color); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig15Speedup times the platform models consuming a full run trace
+// (the computation behind both halves of Fig. 15).
+func BenchmarkFig15Speedup(b *testing.B) {
+	fixtures(b)
+	pls := []platform.Platform{platform.A100(), platform.GSCoreServer(), platform.AGSServer()}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, pl := range pls {
+			platform.RunTotal(pl, fixTrace.ags.Trace)
+		}
+	}
+}
+
+// BenchmarkTable3Area times the area model (trivial, kept for completeness).
+func BenchmarkTable3Area(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if area.Total(area.Edge()) <= 0 || area.Total(area.Server()) <= 0 {
+			b.Fatal("bad area")
+		}
+	}
+}
+
+// BenchmarkFig16Energy times energy accounting over a trace.
+func BenchmarkFig16Energy(b *testing.B) {
+	fixtures(b)
+	pl := platform.AGSEdge()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tot := platform.RunTotal(pl, fixTrace.ags.Trace)
+		if tot.EnergyJ <= 0 {
+			b.Fatal("no energy")
+		}
+	}
+}
+
+// BenchmarkFig17TaskSplit times per-task breakdown extraction.
+func BenchmarkFig17TaskSplit(b *testing.B) {
+	fixtures(b)
+	gpu := platform.A100()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tot := platform.RunTotal(gpu, fixTrace.base.Trace)
+		_ = tot.TrackNs / (tot.TrackNs + tot.MapNs)
+	}
+}
+
+// BenchmarkFig18Ablation times the GPE scheduler comparison at the heart of
+// the AGS-Full ablation step.
+func BenchmarkFig18Ablation(b *testing.B) {
+	fixtures(b)
+	f := &fixTrace.ags.Trace.Frames[0]
+	if f.Map.RepPerPixelAlpha == nil {
+		b.Skip("no representative workload")
+	}
+	p := gpe.DefaultParams(32)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		gpe.FrameCycles(f.Map.RepPerPixelAlpha, f.Map.RepPerPixelBlend, f.Map.Width, f.Map.Height, p, false)
+		gpe.FrameCycles(f.Map.RepPerPixelAlpha, f.Map.RepPerPixelBlend, f.Map.Width, f.Map.Height, p, true)
+	}
+}
+
+// BenchmarkTable4CoarsePose times the coarse RGB-D alignment used by the
+// Droid+SplaTAM comparison.
+func BenchmarkTable4CoarsePose(b *testing.B) {
+	fixtures(b)
+	al := tracker.NewCoarseAligner()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		al.EstimateRelative(fixSeq.Frames[3], fixSeq.Frames[4], fixSeq.Intr, vecmath.PoseIdentity())
+	}
+}
+
+// BenchmarkFig19IterT times the backbone workload estimate per resolution
+// (the cost model behind the Iter_T trade-off).
+func BenchmarkFig19IterT(b *testing.B) {
+	bb := nnlite.NewPoseBackbone(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if bb.Workload(96, 72) <= 0 {
+			b.Fatal("bad workload")
+		}
+	}
+}
+
+// BenchmarkFig20LoggingTable times the GS logging table hot/cold replay.
+func BenchmarkFig20LoggingTable(b *testing.B) {
+	fixtures(b)
+	var tiles [][]int32
+	for _, f := range fixTrace.base.Trace.Frames {
+		if f.LoggingIDs != nil {
+			tiles = f.LoggingIDs
+			break
+		}
+	}
+	if tiles == nil {
+		b.Skip("no logging stream in trace")
+	}
+	p := engines.DefaultTableParams(true)
+	spec := dram.HBM2()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		engines.SimulateLogging(tiles, p, spec)
+	}
+}
+
+// BenchmarkFig21SkippingTable times the GS skipping table replay.
+func BenchmarkFig21SkippingTable(b *testing.B) {
+	fixtures(b)
+	var tiles [][]int32
+	for _, f := range fixTrace.ags.Trace.Frames {
+		if f.Map.RepTileLists != nil {
+			tiles = f.Map.RepTileLists
+			break
+		}
+	}
+	if tiles == nil {
+		b.Skip("no tile lists in trace")
+	}
+	p := engines.DefaultTableParams(false)
+	spec := dram.LPDDR4()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		engines.SimulateSkipping(tiles, 4000, p, spec)
+	}
+}
+
+// BenchmarkFig22FCLevels times full-frame motion estimation (the CODEC work
+// behind the covisibility distribution).
+func BenchmarkFig22FCLevels(b *testing.B) {
+	fixtures(b)
+	cfg := codec.DefaultConfig()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := codec.MotionEstimate(fixSeq.Frames[0].Color, fixSeq.Frames[1].Color, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig23Mapping times one full-mapping optimization iteration (the
+// workload AGS accelerates on the Gaussian-SLAM backbone too).
+func BenchmarkFig23Mapping(b *testing.B) {
+	fixtures(b)
+	lc := splat.DefaultMappingLoss()
+	target := fixSeq.Frames[4]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := splat.Render(fixCloud, fixCam, splat.Options{Workers: 1})
+		splat.Backward(fixCloud, fixCam, res, target, lc, splat.BackwardOptions{GaussianGrads: true, Workers: 1})
+	}
+}

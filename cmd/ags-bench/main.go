@@ -1,0 +1,82 @@
+// Command ags-bench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	ags-bench                  # run every experiment at the quick scale
+//	ags-bench -exp fig15a      # run one experiment
+//	ags-bench -list            # list experiment IDs
+//	ags-bench -scale full      # larger frames/iterations (slower)
+//	ags-bench -frames 32 -w 96 -h 72   # override individual knobs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"ags/internal/bench"
+)
+
+func main() {
+	var (
+		expID   = flag.String("exp", "", "experiment ID to run (default: all)")
+		list    = flag.Bool("list", false, "list experiment IDs and exit")
+		scale   = flag.String("scale", "quick", "quick | full")
+		width   = flag.Int("w", 0, "override frame width")
+		height  = flag.Int("h", 0, "override frame height")
+		frames  = flag.Int("frames", 0, "override frames per sequence")
+		workers = flag.Int("workers", 0, "render worker goroutines (0 = all cores)")
+		quiet   = flag.Bool("q", false, "suppress progress lines")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range bench.Experiments() {
+			fmt.Printf("%-8s %s\n", e.ID, e.Paper)
+		}
+		return
+	}
+
+	var cfg bench.Config
+	switch *scale {
+	case "quick":
+		cfg = bench.Quick()
+	case "full":
+		cfg = bench.Full()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scale %q (quick|full)\n", *scale)
+		os.Exit(2)
+	}
+	if *width > 0 {
+		cfg.Width = *width
+	}
+	if *height > 0 {
+		cfg.Height = *height
+	}
+	if *frames > 0 {
+		cfg.Frames = *frames
+	}
+	cfg.Workers = *workers
+
+	suite := bench.NewSuite(cfg, os.Stdout)
+	suite.Verbose = !*quiet
+	start := time.Now()
+
+	var err error
+	if *expID == "" {
+		err = bench.RunAll(suite)
+	} else {
+		var e bench.Experiment
+		e, err = bench.Find(*expID)
+		if err == nil {
+			err = e.Run(suite)
+		}
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ags-bench: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("\n# done in %s (scale=%s %dx%d, %d frames/sequence)\n",
+		time.Since(start).Round(time.Millisecond), *scale, cfg.Width, cfg.Height, cfg.Frames)
+}

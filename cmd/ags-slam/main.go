@@ -1,0 +1,130 @@
+// Command ags-slam runs one SLAM configuration over one synthetic sequence
+// and reports accuracy, reconstruction quality and modeled platform times.
+//
+// Usage:
+//
+//	ags-slam -seq Desk -algo ags
+//	ags-slam -seq Room -algo baseline -frames 60 -w 96 -h 72
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"ags/internal/hw/platform"
+	"ags/internal/scene"
+	"ags/internal/slam"
+)
+
+func main() {
+	var (
+		seqName  = flag.String("seq", "Desk", "sequence name (see -listseq)")
+		algo     = flag.String("algo", "ags", "baseline | ags | mat | gcm | droid")
+		width    = flag.Int("w", 64, "frame width")
+		height   = flag.Int("h", 48, "frame height")
+		frames   = flag.Int("frames", 24, "frames in the sequence")
+		iters    = flag.Int("iters", 30, "baseline tracking iterations (N_T)")
+		listSeq  = flag.Bool("listseq", false, "list sequence names and exit")
+		traceOut = flag.String("trace", "", "write the run's operation trace as JSON to this file")
+	)
+	flag.Parse()
+
+	if *listSeq {
+		for _, n := range scene.Names() {
+			fmt.Println(n)
+		}
+		return
+	}
+
+	cfg := slam.DefaultConfig(*width, *height)
+	cfg.TrackIters = *iters
+	switch *algo {
+	case "baseline":
+	case "ags":
+		cfg.EnableMAT, cfg.EnableGCM = true, true
+	case "mat":
+		cfg.EnableMAT = true
+	case "gcm":
+		cfg.EnableGCM = true
+	case "droid":
+		cfg.ForceCoarseOnly = true
+	default:
+		fmt.Fprintf(os.Stderr, "unknown algorithm %q\n", *algo)
+		os.Exit(2)
+	}
+
+	fmt.Printf("generating %s (%dx%d, %d frames)...\n", *seqName, *width, *height, *frames)
+	seq, err := scene.Generate(*seqName, scene.Config{Width: *width, Height: *height, Frames: *frames, Seed: 1})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("running %s pipeline...\n", *algo)
+	start := time.Now()
+	sys := slam.New(cfg, seq.Intr)
+	for _, f := range seq.Frames {
+		if err := sys.ProcessFrame(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		inf := ""
+		res := sys.Finish(*seqName) // cheap: snapshots accumulated state
+		last := res.Info[len(res.Info)-1]
+		if last.CoarseOnly {
+			inf += " coarse-only"
+		}
+		if last.IsKeyFrame {
+			inf += " keyframe"
+		}
+		fmt.Printf("  frame %2d: FC %.2f%s\n", f.Index, float64(last.Covisibility), inf)
+	}
+	res := sys.Finish(*seqName)
+	elapsed := time.Since(start)
+
+	ate, err := res.ATERMSECm()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	psnr, err := slam.EvaluatePSNR(res, seq, 2)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	tot := res.Trace.Totals()
+	fmt.Printf("\nresults for %s / %s:\n", *seqName, *algo)
+	fmt.Printf("  ATE RMSE           %.2f cm\n", ate)
+	fmt.Printf("  PSNR               %.2f dB\n", psnr)
+	fmt.Printf("  gaussians          %d active\n", res.Cloud.NumActive())
+	fmt.Printf("  key frames         %d / %d\n", tot.KeyFrames, tot.Frames)
+	fmt.Printf("  coarse-only frames %d\n", tot.CoarseOnly)
+	fmt.Printf("  track iterations   %d\n", tot.TrackIters)
+	fmt.Printf("  map iterations     %d\n", tot.MapIters)
+	fmt.Printf("  wall time          %s (%.2f s/frame in Go)\n", elapsed.Round(time.Millisecond), elapsed.Seconds()/float64(tot.Frames))
+
+	if *traceOut != "" {
+		tf, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := res.Trace.WriteJSON(tf); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := tf.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("\ntrace written to %s\n", *traceOut)
+	}
+
+	fmt.Printf("\nmodeled per-frame latency:\n")
+	for _, pl := range []platform.Platform{platform.A100(), platform.Xavier(), platform.AGSServer(), platform.AGSEdge()} {
+		b := platform.RunTotal(pl, res.Trace)
+		fmt.Printf("  %-12s %8.3f ms/frame  (%.2f J total)\n", pl.Name(), b.TotalNs/float64(tot.Frames)*1e-6, b.EnergyJ)
+	}
+}

@@ -1,0 +1,56 @@
+// Accelerator sizing: use the hardware models as a design-space explorer.
+// Sweeps the number of GPE arrays in the mapping engine and reports modeled
+// frame time, area and energy for each design point — the kind of study
+// Table 3 and Fig. 15/16 of the paper summarize at two points (Edge, Server).
+//
+//	go run ./examples/accelerator_sizing
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ags/internal/hw/area"
+	"ags/internal/hw/gpe"
+	"ags/internal/hw/platform"
+	"ags/internal/scene"
+	"ags/internal/slam"
+)
+
+func main() {
+	const w, h = 64, 48
+	seq, err := scene.Generate("Desk", scene.Config{Width: w, Height: h, Frames: 12, Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := slam.AGSConfig(w, h)
+	cfg.TrackIters = 24
+	res, err := slam.Run(cfg, seq)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("design point sweep (AGS mapping engine, HBM2, scheduler on):")
+	fmt.Println("  arrays  ms/frame   mm^2 (GS array)   mJ/frame")
+	frames := float64(len(res.Poses))
+	for _, arrays := range []int{4, 8, 16, 32, 64} {
+		pl := platform.AGSServer()
+		pl.MapArrays = arrays
+		pl.GPEParams = gpe.DefaultParams(arrays)
+		tot := platform.RunTotal(pl, res.Trace)
+		cfgArea := area.Server()
+		cfgArea.GSArrays = arrays
+		fmt.Printf("  %6d  %8.3f   %15.2f   %8.3f\n",
+			arrays,
+			tot.TotalNs/frames*1e-6,
+			area.Total(cfgArea),
+			tot.EnergyJ/frames*1e3)
+	}
+
+	fmt.Println("\nscheduler ablation at 32 arrays:")
+	for _, sched := range []bool{false, true} {
+		pl := platform.AGSServer().WithScheduler(sched)
+		tot := platform.RunTotal(pl, res.Trace)
+		fmt.Printf("  scheduled=%-5v  %.3f ms/frame\n", sched, tot.TotalNs/frames*1e-6)
+	}
+}

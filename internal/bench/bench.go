@@ -1,0 +1,223 @@
+// Package bench is the experiment harness: one generator per table and
+// figure of the paper's evaluation (§3 motivation profiles and §6), each
+// printing the same rows/series the paper reports. SLAM runs are cached and
+// shared across experiments, mirroring the paper's methodology of collecting
+// traces once and evaluating every platform on them.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sync"
+
+	"ags/internal/camera"
+	"ags/internal/mapper"
+	"ags/internal/metrics"
+	"ags/internal/scene"
+	"ags/internal/slam"
+	"ags/internal/splat"
+)
+
+// Config scales the whole experiment suite.
+type Config struct {
+	Width, Height int
+	Frames        int
+	TrackIters    int // baseline N_T
+	IterT         int // AGS refinement iterations
+	MapIters      int // N_M
+	DensifyStride int
+	Workers       int
+	Seed          int64
+}
+
+// Quick returns the configuration used by default: small enough that the
+// full suite completes in minutes on a laptop CPU, large enough that every
+// effect the paper reports is visible.
+func Quick() Config {
+	return Config{
+		Width: 64, Height: 48, Frames: 16,
+		TrackIters: 24, IterT: 5, MapIters: 8,
+		DensifyStride: 2, Seed: 1,
+	}
+}
+
+// Full returns the larger configuration (closer to the paper's per-frame
+// workload shape; several times slower).
+func Full() Config {
+	return Config{
+		Width: 96, Height: 72, Frames: 40,
+		TrackIters: 60, IterT: 6, MapIters: 15,
+		DensifyStride: 2, Seed: 1,
+	}
+}
+
+// Variant names a pipeline configuration.
+type Variant string
+
+// Pipeline variants shared by the experiments.
+const (
+	VarBaseline  Variant = "baseline"   // SplaTAM-style
+	VarAGS       Variant = "ags"        // MAT + GCM
+	VarMATOnly   Variant = "mat"        // movement-adaptive tracking only
+	VarGCMOnly   Variant = "gcm"        // contribution-aware mapping only
+	VarDroid     Variant = "droid"      // coarse-only tracking (Table 4)
+	VarGSLAMBase Variant = "gslam-base" // Gaussian-SLAM backbone, baseline
+	VarGSLAMAGS  Variant = "gslam-ags"  // Gaussian-SLAM backbone + AGS
+)
+
+// Bundle is one cached SLAM run plus its dataset.
+type Bundle struct {
+	Seq    *scene.Sequence
+	Result *slam.Result
+
+	psnrOnce sync.Once
+	psnr     float64
+	psnrErr  error
+}
+
+// PSNR lazily evaluates (and caches) the run's mean rendering quality.
+func (b *Bundle) PSNR() (float64, error) {
+	b.psnrOnce.Do(func() {
+		b.psnr, b.psnrErr = slam.EvaluatePSNR(b.Result, b.Seq, 2)
+	})
+	return b.psnr, b.psnrErr
+}
+
+// Suite owns the run cache and output stream.
+type Suite struct {
+	Cfg Config
+	Out io.Writer
+
+	mu      sync.Mutex
+	seqs    map[string]*scene.Sequence
+	bundles map[string]*Bundle
+	// Verbose logs each cache miss (runs take seconds to minutes).
+	Verbose bool
+}
+
+// NewSuite returns an empty suite writing to out.
+func NewSuite(cfg Config, out io.Writer) *Suite {
+	return &Suite{
+		Cfg:     cfg,
+		Out:     out,
+		seqs:    make(map[string]*scene.Sequence),
+		bundles: make(map[string]*Bundle),
+	}
+}
+
+// Sequence returns (generating on first use) the named dataset.
+func (s *Suite) Sequence(name string) *scene.Sequence {
+	s.mu.Lock()
+	seq, ok := s.seqs[name]
+	s.mu.Unlock()
+	if ok {
+		return seq
+	}
+	seq = scene.MustGenerate(name, scene.Config{
+		Width: s.Cfg.Width, Height: s.Cfg.Height, Frames: s.Cfg.Frames, Seed: s.Cfg.Seed,
+	})
+	s.mu.Lock()
+	s.seqs[name] = seq
+	s.mu.Unlock()
+	return seq
+}
+
+// slamConfig builds the pipeline configuration for a variant. overrides, if
+// non-nil, may further mutate the config (parameter sweeps).
+func (s *Suite) slamConfig(v Variant, override func(*slam.Config)) slam.Config {
+	cfg := slam.DefaultConfig(s.Cfg.Width, s.Cfg.Height)
+	cfg.TrackIters = s.Cfg.TrackIters
+	cfg.IterT = s.Cfg.IterT
+	cfg.Mapper.MapIters = s.Cfg.MapIters
+	cfg.Mapper.DensifyStride = s.Cfg.DensifyStride
+	cfg.Workers = s.Cfg.Workers
+	switch v {
+	case VarBaseline:
+	case VarAGS:
+		cfg.EnableMAT, cfg.EnableGCM = true, true
+	case VarMATOnly:
+		cfg.EnableMAT = true
+	case VarGCMOnly:
+		cfg.EnableGCM = true
+	case VarDroid:
+		cfg.ForceCoarseOnly = true
+	case VarGSLAMBase:
+		cfg.Backbone = slam.BackboneGaussianSLAM
+	case VarGSLAMAGS:
+		cfg.Backbone = slam.BackboneGaussianSLAM
+		cfg.EnableGCM = true
+	}
+	if override != nil {
+		override(&cfg)
+	}
+	return cfg
+}
+
+// Run returns the cached bundle for (sequence, variant), executing the
+// pipeline on first use. key distinguishes parameter sweeps.
+func (s *Suite) Run(seqName string, v Variant, key string, override func(*slam.Config)) (*Bundle, error) {
+	id := seqName + "/" + string(v) + "/" + key
+	s.mu.Lock()
+	b, ok := s.bundles[id]
+	s.mu.Unlock()
+	if ok {
+		return b, nil
+	}
+	seq := s.Sequence(seqName)
+	if s.Verbose {
+		fmt.Fprintf(s.Out, "# running %s ...\n", id)
+	}
+	res, err := slam.Run(s.slamConfig(v, override), seq)
+	if err != nil {
+		return nil, fmt.Errorf("bench: run %s: %w", id, err)
+	}
+	b = &Bundle{Seq: seq, Result: res}
+	s.mu.Lock()
+	s.bundles[id] = b
+	s.mu.Unlock()
+	return b, nil
+}
+
+// MustRun is Run for experiment code where errors are fatal to the harness.
+func (s *Suite) MustRun(seqName string, v Variant, key string, override func(*slam.Config)) *Bundle {
+	b, err := s.Run(seqName, v, key, override)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+// contributionStats renders frame fi of the bundle at its estimated pose
+// with contribution logging and returns (nonContributory, total) Gaussian
+// counts under the mapper's thresholds.
+func contributionStats(b *Bundle, fi int, mcfg mapper.Config) (nonContrib, total int, ids map[int]bool) {
+	cam := camera.Camera{Intr: b.Seq.Intr, Pose: b.Result.Poses[fi]}
+	res := splat.Render(b.Result.Cloud, cam, splat.Options{
+		LogContribution: true,
+		ThreshAlpha:     mcfg.ThreshAlpha,
+	})
+	ids = make(map[int]bool)
+	for id := range res.Touched {
+		if res.Touched[id] == 0 {
+			continue // culled before the Gaussian tables; not in any table
+		}
+		total++
+		if res.Touched[id]-res.NonContrib[id] <= int32(mcfg.ContribPixMax) {
+			nonContrib++
+			ids[id] = true
+		}
+	}
+	return nonContrib, total, ids
+}
+
+// geoMeanOf orders a named float per sequence and appends its GeoMean.
+func geoMeanOf(vals map[string]float64, order []string) []float64 {
+	out := make([]float64, 0, len(order)+1)
+	var list []float64
+	for _, name := range order {
+		out = append(out, vals[name])
+		list = append(list, vals[name])
+	}
+	out = append(out, metrics.GeoMean(list))
+	return out
+}

@@ -1,0 +1,106 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// tinyCfg keeps bench tests fast; experiment correctness at scale is
+// exercised by cmd/ags-bench and the repository-level benchmarks.
+func tinyCfg() Config {
+	return Config{
+		Width: 40, Height: 32, Frames: 6,
+		TrackIters: 8, IterT: 3, MapIters: 4,
+		DensifyStride: 2, Workers: 4, Seed: 1,
+	}
+}
+
+func TestRunCacheReuses(t *testing.T) {
+	var buf bytes.Buffer
+	s := NewSuite(tinyCfg(), &buf)
+	b1 := s.MustRun("Desk", VarBaseline, "", nil)
+	b2 := s.MustRun("Desk", VarBaseline, "", nil)
+	if b1 != b2 {
+		t.Error("cache returned different bundles for same key")
+	}
+	b3 := s.MustRun("Desk", VarAGS, "", nil)
+	if b3 == b1 {
+		t.Error("different variants shared a bundle")
+	}
+}
+
+func TestFindExperiment(t *testing.T) {
+	if _, err := Find("fig15a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Find("nope"); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+	if len(Experiments()) != 23 {
+		t.Errorf("registry has %d experiments, want 23", len(Experiments()))
+	}
+}
+
+func TestTable3RunsWithoutSlam(t *testing.T) {
+	var buf bytes.Buffer
+	s := NewSuite(tinyCfg(), &buf)
+	if err := s.Table3(); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Table 3", "FC Detection Engine", "GS Array", "7.", "14."} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFig22RunsOnSequencesOnly(t *testing.T) {
+	var buf bytes.Buffer
+	s := NewSuite(tinyCfg(), &buf)
+	if err := s.Fig22(); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "High") {
+		t.Errorf("fig22 output malformed:\n%s", buf.String())
+	}
+}
+
+func TestSpeedupExperimentEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slam runs in short mode")
+	}
+	var buf bytes.Buffer
+	s := NewSuite(tinyCfg(), &buf)
+	// Restrict to one sequence by running the underlying pieces directly:
+	// Fig. 15 needs all nine sequences, which is too slow here; instead
+	// exercise Table 1, which needs three variants on Desk.
+	if err := s.Table1(); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"AGS (this work)", "SplaTAM-style baseline", "ATE"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table1 output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTableFormatting(t *testing.T) {
+	var buf bytes.Buffer
+	tab := NewTable("T", "A", "LongColumn")
+	tab.AddRow("x", 1.5)
+	tab.AddRow("yyyy", "z")
+	tab.AddNote("n=%d", 2)
+	tab.Write(&buf)
+	out := buf.String()
+	if !strings.Contains(out, "== T ==") || !strings.Contains(out, "1.50") || !strings.Contains(out, "note: n=2") {
+		t.Errorf("bad table output:\n%s", out)
+	}
+	// Header and separator align.
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) < 5 {
+		t.Fatalf("too few lines:\n%s", out)
+	}
+}

@@ -1,0 +1,193 @@
+package bench
+
+import (
+	"fmt"
+
+	"ags/internal/hw/platform"
+	"ags/internal/metrics"
+	"ags/internal/scene"
+	"ags/internal/slam"
+)
+
+// Table1 reproduces the paper's Table 1: SLAM category comparison on Desk.
+// The 3DGS-SLAM rows are measured; the traditional-SLAM row uses the
+// coarse-only geometric tracker (our stand-in for classical odometry); the
+// NeRF band is reported from the paper since no NeRF substrate exists here.
+func (s *Suite) Table1() error {
+	t := NewTable("Table 1: SLAM algorithm categories (Desk)",
+		"Category", "Algorithm", "ATE(cm)", "PSNR(dB)", "Latency(s/frame, modeled)")
+
+	base := s.MustRun("Desk", VarBaseline, "", nil)
+	ags := s.MustRun("Desk", VarAGS, "", nil)
+	droid := s.MustRun("Desk", VarDroid, "", nil)
+
+	addRow := func(cat, name string, b *Bundle, pl platform.Platform) error {
+		ate, err := b.Result.ATERMSECm()
+		if err != nil {
+			return err
+		}
+		psnr, err := b.PSNR()
+		if err != nil {
+			return err
+		}
+		tot := platform.RunTotal(pl, b.Result.Trace)
+		perFrame := tot.TotalNs / float64(len(b.Result.Poses)) * 1e-9
+		t.AddRow(cat, name, ate, psnr, fmt.Sprintf("%.4f", perFrame))
+		return nil
+	}
+	if err := addRow("3DGS-SLAM", "SplaTAM-style baseline", base, platform.A100()); err != nil {
+		return err
+	}
+	if err := addRow("3DGS-SLAM", "AGS (this work)", ags, platform.AGSServer()); err != nil {
+		return err
+	}
+	if err := addRow("Trad-SLAM", "geometric odometry (coarse-only)", droid, platform.A100()); err != nil {
+		return err
+	}
+	t.AddNote("paper bands: 3DGS-SLAM high ATE/high PSNR/slow; Trad-SLAM low ATE/low PSNR/fast")
+	t.AddNote("NeRF-SLAM row omitted: no NeRF substrate in this reproduction")
+	t.Write(s.Out)
+	return nil
+}
+
+// Table2 reproduces Table 2: tracking accuracy (ATE RMSE, cm) on the
+// TUM-style sequences for the baseline, AGS, and the classical tracker.
+func (s *Suite) Table2() error {
+	t := NewTable("Table 2: Tracking Accuracy (ATE RMSE, cm, lower is better)",
+		append([]string{"Algorithm"}, append(scene.TUMNames(), "GeoMean")...)...)
+	rows := []struct {
+		label string
+		v     Variant
+	}{
+		{"SplaTAM-style (3DGS)", VarBaseline},
+		{"AGS (3DGS)", VarAGS},
+		{"Geometric odometry (Trad)", VarDroid},
+	}
+	for _, r := range rows {
+		vals := map[string]float64{}
+		for _, name := range scene.TUMNames() {
+			b, err := s.Run(name, r.v, "", nil)
+			if err != nil {
+				return err
+			}
+			ate, err := b.Result.ATERMSECm()
+			if err != nil {
+				return err
+			}
+			vals[name] = ate
+		}
+		cells := []interface{}{r.label}
+		for _, v := range geoMeanOf(vals, scene.TUMNames()) {
+			cells = append(cells, v)
+		}
+		t.AddRow(cells...)
+	}
+	t.AddNote("paper: SplaTAM 5.54 geomean, AGS 2.81 (1.97x better), Orb-SLAM2 1.98")
+	t.Write(s.Out)
+	return nil
+}
+
+// Fig14 reproduces Fig. 14: PSNR of the baseline vs AGS on all sequences.
+func (s *Suite) Fig14() error {
+	t := NewTable("Fig. 14: PSNR (dB, higher is better)",
+		append([]string{"Algorithm"}, append(scene.Names(), "GeoMean")...)...)
+	for _, r := range []struct {
+		label string
+		v     Variant
+	}{{"Baseline", VarBaseline}, {"AGS", VarAGS}} {
+		vals := map[string]float64{}
+		for _, name := range scene.Names() {
+			b, err := s.Run(name, r.v, "", nil)
+			if err != nil {
+				return err
+			}
+			p, err := b.PSNR()
+			if err != nil {
+				return err
+			}
+			vals[name] = p
+		}
+		cells := []interface{}{r.label}
+		for _, v := range geoMeanOf(vals, scene.Names()) {
+			cells = append(cells, v)
+		}
+		t.AddRow(cells...)
+	}
+	t.AddNote("paper: AGS loses 2.36%% PSNR on average vs the baseline")
+	t.Write(s.Out)
+	return nil
+}
+
+// Table4 reproduces Table 4: PSNR of AGS vs directly integrating the coarse
+// tracker with SplaTAM (no fine-grained refinement).
+func (s *Suite) Table4() error {
+	t := NewTable("Table 4: PSNR vs direct Droid+SplaTAM integration (dB)",
+		append([]string{"Benchmark"}, append(scene.TUMNames(), "GeoMean")...)...)
+	for _, r := range []struct {
+		label string
+		v     Variant
+	}{{"AGS", VarAGS}, {"Droid+SplaTAM (coarse only)", VarDroid}} {
+		vals := map[string]float64{}
+		for _, name := range scene.TUMNames() {
+			b, err := s.Run(name, r.v, "", nil)
+			if err != nil {
+				return err
+			}
+			p, err := b.PSNR()
+			if err != nil {
+				return err
+			}
+			vals[name] = p
+		}
+		cells := []interface{}{r.label}
+		for _, v := range geoMeanOf(vals, scene.TUMNames()) {
+			cells = append(cells, v)
+		}
+		t.AddRow(cells...)
+	}
+	t.AddNote("paper: 21.55 vs 20.87 dB — refinement preserves mapping quality")
+	t.Write(s.Out)
+	return nil
+}
+
+// FPRate reproduces the §6.2 false-positive analysis of the contribution
+// prediction.
+func (s *Suite) FPRate() error {
+	t := NewTable("§6.2: False-positive rate of non-contributory prediction (%)",
+		"Sequence", "Mean FP rate", "Non-key frames")
+	var all []float64
+	for _, name := range scene.TUMNames() {
+		b, err := s.Run(name, VarAGS, "fp", func(c *slam.Config) { c.EvalFPRate = true })
+		if err != nil {
+			return err
+		}
+		var sum float64
+		n := 0
+		for _, inf := range b.Result.Info {
+			if inf.FPValid {
+				sum += inf.FPRate
+				n++
+			}
+		}
+		rate := 0.0
+		if n > 0 {
+			rate = 100 * sum / float64(n)
+		}
+		all = append(all, rate)
+		t.AddRow(name, rate, n)
+	}
+	var mean float64
+	for _, v := range all {
+		mean += v
+	}
+	if len(all) > 0 {
+		mean /= float64(len(all))
+	}
+	t.AddRow("Average", mean, "")
+	t.AddNote("paper: 5.7%% average FP rate")
+	t.Write(s.Out)
+	return nil
+}
+
+// ensure metrics stays imported even if geomean helpers change.
+var _ = metrics.GeoMean

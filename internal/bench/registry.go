@@ -1,0 +1,68 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Experiment is one regenerable paper artifact.
+type Experiment struct {
+	ID    string
+	Paper string
+	Run   func(*Suite) error
+}
+
+// Experiments returns the registry of all reproducible tables and figures in
+// the order the paper presents them.
+func Experiments() []Experiment {
+	return []Experiment{
+		{"table1", "Table 1 (category comparison)", (*Suite).Table1},
+		{"fig3", "Fig. 3 (tracking vs mapping time)", (*Suite).Fig3},
+		{"fig4", "Fig. 4 (accuracy vs iterations by FC)", (*Suite).Fig4},
+		{"fig5", "Fig. 5 (non-contributory Gaussians)", (*Suite).Fig5},
+		{"fig6", "Fig. 6 (contribution similarity by FC level)", (*Suite).Fig6},
+		{"table2", "Table 2 (ATE RMSE)", (*Suite).Table2},
+		{"fig14", "Fig. 14 (PSNR)", (*Suite).Fig14},
+		{"fp", "§6.2 (false-positive rate)", (*Suite).FPRate},
+		{"fig15a", "Fig. 15a (server speedup)", func(s *Suite) error { return s.Fig15(true) }},
+		{"fig15b", "Fig. 15b (edge speedup)", func(s *Suite) error { return s.Fig15(false) }},
+		{"table3", "Table 3 (area)", (*Suite).Table3},
+		{"fig16", "Fig. 16 (energy efficiency)", (*Suite).Fig16},
+		{"fig17", "Fig. 17 (per-task speedup)", (*Suite).Fig17},
+		{"fig18", "Fig. 18 (contribution ladder)", (*Suite).Fig18},
+		{"table4", "Table 4 (Droid+SplaTAM)", (*Suite).Table4},
+		{"fig19", "Fig. 19 (Iter_T sensitivity)", (*Suite).Fig19},
+		{"fig20", "Fig. 20 (Thresh_M sensitivity)", (*Suite).Fig20},
+		{"fig21", "Fig. 21 (Thresh_N sensitivity)", (*Suite).Fig21},
+		{"fig22", "Fig. 22 (FC distribution)", (*Suite).Fig22},
+		{"fig23", "Fig. 23 (Gaussian-SLAM generality)", (*Suite).Fig23},
+		{"abl-codec", "Extra: ME search ablation", (*Suite).AblCodec},
+		{"abl-tables", "Extra: logging-buffer capacity sweep", (*Suite).AblTables},
+		{"abl-overlap", "Extra: pipelining/scheduler split", (*Suite).AblOverlap},
+	}
+}
+
+// Find returns the experiment with the given ID.
+func Find(id string) (Experiment, error) {
+	for _, e := range Experiments() {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	ids := make([]string, 0)
+	for _, e := range Experiments() {
+		ids = append(ids, e.ID)
+	}
+	sort.Strings(ids)
+	return Experiment{}, fmt.Errorf("bench: unknown experiment %q (known: %v)", id, ids)
+}
+
+// RunAll executes every experiment in paper order.
+func RunAll(s *Suite) error {
+	for _, e := range Experiments() {
+		if err := e.Run(s); err != nil {
+			return fmt.Errorf("%s: %w", e.ID, err)
+		}
+	}
+	return nil
+}

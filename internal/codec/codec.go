@@ -1,0 +1,214 @@
+// Package codec models the motion-estimation (ME) stage of a hardware video
+// CODEC (paper §2.3): the current frame is divided into macro-blocks (MBs),
+// each matched against a search window in the previous frame by minimizing
+// the Sum of Absolute Differences (SAD). AGS repurposes the per-MB minimum
+// SADs — accumulated over the frame — as a frame-covisibility metric, so this
+// package exposes exactly that intermediate data, plus the motion vectors a
+// real encoder would use, and the operation counts the hardware model charges.
+package codec
+
+import (
+	"fmt"
+
+	"ags/internal/frame"
+)
+
+// Config selects the ME parameters.
+type Config struct {
+	// BlockSize is the macro-block edge in pixels (paper example: 8x8).
+	BlockSize int
+	// SearchRange is the half-width of the search window in pixels.
+	SearchRange int
+	// ThreeStep selects the logarithmic three-step search a real-time
+	// encoder uses instead of exhaustive full search.
+	ThreeStep bool
+}
+
+// DefaultConfig matches the paper's description: 8x8 macro-blocks with a
+// hardware-typical +-8 pixel three-step search.
+func DefaultConfig() Config {
+	return Config{BlockSize: 8, SearchRange: 8, ThreeStep: true}
+}
+
+// MotionVector is the displacement of one macro-block between frames.
+type MotionVector struct{ DX, DY int }
+
+// Result holds the ME outputs for one frame pair.
+type Result struct {
+	Cfg      Config
+	MBW, MBH int            // macro-block grid size
+	MinSAD   []uint32       // per-MB minimum SAD (the AGS covisibility input)
+	MV       []MotionVector // per-MB best displacement
+	// SADOps counts absolute-difference operations performed — the work the
+	// CODEC IP does anyway for compression, which AGS gets for free.
+	SADOps int64
+}
+
+// SumMinSAD returns the accumulated minimum SAD over all macro-blocks
+// (Σ_i SAD_min^i in §4.1). Larger means less covisibility.
+func (r *Result) SumMinSAD() uint64 {
+	var s uint64
+	for _, v := range r.MinSAD {
+		s += uint64(v)
+	}
+	return s
+}
+
+// MaxPossibleSAD returns the worst-case accumulated SAD (every pixel differs
+// by the full 8-bit range), used to normalize covisibility to [0,1].
+func (r *Result) MaxPossibleSAD() uint64 {
+	block := uint64(r.Cfg.BlockSize * r.Cfg.BlockSize)
+	return uint64(len(r.MinSAD)) * block * 255
+}
+
+// MotionEstimate runs ME of cur against prev (the reference frame).
+// Both images must have identical dimensions.
+func MotionEstimate(prev, cur *frame.Image, cfg Config) (*Result, error) {
+	if prev.W != cur.W || prev.H != cur.H {
+		return nil, fmt.Errorf("codec: frame size mismatch %dx%d vs %dx%d", prev.W, prev.H, cur.W, cur.H)
+	}
+	if cfg.BlockSize <= 0 || cfg.SearchRange < 0 {
+		return nil, fmt.Errorf("codec: invalid config %+v", cfg)
+	}
+	pl := prev.Luma8()
+	cl := cur.Luma8()
+	w, h := cur.W, cur.H
+	bs := cfg.BlockSize
+	mbw := w / bs
+	mbh := h / bs
+	if mbw == 0 || mbh == 0 {
+		return nil, fmt.Errorf("codec: image %dx%d smaller than block %d", w, h, bs)
+	}
+	res := &Result{
+		Cfg: cfg, MBW: mbw, MBH: mbh,
+		MinSAD: make([]uint32, mbw*mbh),
+		MV:     make([]MotionVector, mbw*mbh),
+	}
+	for by := 0; by < mbh; by++ {
+		for bx := 0; bx < mbw; bx++ {
+			x0, y0 := bx*bs, by*bs
+			var best uint32
+			var bestMV MotionVector
+			if cfg.ThreeStep {
+				best, bestMV = threeStepSearch(cl, pl, w, h, x0, y0, bs, cfg.SearchRange, &res.SADOps)
+			} else {
+				best, bestMV = fullSearch(cl, pl, w, h, x0, y0, bs, cfg.SearchRange, &res.SADOps)
+			}
+			res.MinSAD[by*mbw+bx] = best
+			res.MV[by*mbw+bx] = bestMV
+		}
+	}
+	return res, nil
+}
+
+// sad computes the SAD between the current block at (x0,y0) and the
+// reference block displaced by (dx,dy). Out-of-frame reference pixels are
+// clamped to the border (encoder padding behavior).
+func sad(cur, ref []uint8, w, h, x0, y0, bs, dx, dy int, ops *int64) uint32 {
+	var acc uint32
+	for y := 0; y < bs; y++ {
+		cy := y0 + y
+		ry := clampInt(cy+dy, 0, h-1)
+		rowC := cy * w
+		rowR := ry * w
+		for x := 0; x < bs; x++ {
+			cx := x0 + x
+			rx := clampInt(cx+dx, 0, w-1)
+			c := int32(cur[rowC+cx])
+			r := int32(ref[rowR+rx])
+			d := c - r
+			if d < 0 {
+				d = -d
+			}
+			acc += uint32(d)
+		}
+	}
+	*ops += int64(bs * bs)
+	return acc
+}
+
+func fullSearch(cur, ref []uint8, w, h, x0, y0, bs, sr int, ops *int64) (uint32, MotionVector) {
+	best := ^uint32(0)
+	var mv MotionVector
+	for dy := -sr; dy <= sr; dy++ {
+		for dx := -sr; dx <= sr; dx++ {
+			s := sad(cur, ref, w, h, x0, y0, bs, dx, dy, ops)
+			if s < best || (s == best && absInt(dx)+absInt(dy) < absInt(mv.DX)+absInt(mv.DY)) {
+				best = s
+				mv = MotionVector{dx, dy}
+			}
+		}
+	}
+	return best, mv
+}
+
+// threeStepSearch is the New Three-Step Search (NTSS) used by real-time
+// encoders: the classical logarithmic pattern, plus a unit-ring probe around
+// the origin in the first pass. Streaming video — and SLAM capture in
+// particular — is dominated by small motions, where plain TSS's large first
+// step can jump into a false SAD basin; NTSS short-circuits to a fine search
+// when the best first-pass candidate is adjacent to the origin.
+func threeStepSearch(cur, ref []uint8, w, h, x0, y0, bs, sr int, ops *int64) (uint32, MotionVector) {
+	cx, cy := 0, 0
+	best := sad(cur, ref, w, h, x0, y0, bs, 0, 0, ops)
+
+	scanRing := func(centerX, centerY, step int) (int, int, bool) {
+		bx, by := centerX, centerY
+		improved := false
+		for dy := -step; dy <= step; dy += step {
+			for dx := -step; dx <= step; dx += step {
+				if dx == 0 && dy == 0 {
+					continue
+				}
+				nx, ny := centerX+dx, centerY+dy
+				if absInt(nx) > sr || absInt(ny) > sr {
+					continue
+				}
+				if s := sad(cur, ref, w, h, x0, y0, bs, nx, ny, ops); s < best {
+					best = s
+					bx, by = nx, ny
+					improved = true
+				}
+			}
+		}
+		return bx, by, improved
+	}
+
+	step := 1
+	for step*2 <= sr {
+		step *= 2
+	}
+	// First pass: coarse ring and unit ring around the origin.
+	coarseX, coarseY, _ := scanRing(0, 0, step)
+	fineX, fineY, fineImproved := scanRing(0, 0, 1)
+	if fineImproved {
+		// The unit ring beat every coarse candidate: small-motion fast path,
+		// refine once more around the unit-ring winner and stop.
+		cx, cy, _ = scanRing(fineX, fineY, 1)
+		return best, MotionVector{cx, cy}
+	}
+	cx, cy = coarseX, coarseY
+	step /= 2
+	for step >= 1 {
+		cx, cy, _ = scanRing(cx, cy, step)
+		step /= 2
+	}
+	return best, MotionVector{cx, cy}
+}
+
+func clampInt(x, lo, hi int) int {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}
+
+func absInt(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

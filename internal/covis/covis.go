@@ -1,0 +1,94 @@
+// Package covis turns the CODEC's accumulated minimum-SAD values into the
+// frame-covisibility (FC) metric that drives AGS (paper §4.1): a normalized
+// score in [0,1] where 1 means identical frames, plus the 5-level
+// quantization used by the contribution-similarity analysis (Fig. 6/22).
+package covis
+
+import (
+	"fmt"
+
+	"ags/internal/codec"
+	"ags/internal/frame"
+)
+
+// Score is a frame-covisibility value in [0,1]; higher means more shared
+// content between the two frames.
+type Score float64
+
+// Level is the 5-way quantization of covisibility used in Fig. 6 and
+// Fig. 22; level 5 is the highest covisibility.
+type Level int
+
+// Detector computes covisibility using the CODEC ME model. It corresponds to
+// the FC detection engine reading SAD values the CODEC already produced.
+type Detector struct {
+	Cfg codec.Config
+	// Sensitivity scales the normalized SAD before conversion to a score.
+	// Natural video rarely approaches the worst-case SAD (all pixels
+	// saturating the 8-bit range) and motion compensation absorbs most of
+	// the inter-frame difference, so raw normalized SAD would compress all
+	// frames into the top few percent of the scale. The default of 20 maps
+	// typical SLAM frame-to-frame differences across the full [0,1] range at
+	// this reproduction's resolutions (see DESIGN.md: threshold mapping).
+	Sensitivity float64
+
+	// LastResult is the most recent ME output (exposed so the hardware model
+	// can charge the CODEC's work and so experiments can inspect MVs).
+	LastResult *codec.Result
+}
+
+// NewDetector returns a Detector with the paper's ME configuration.
+func NewDetector() *Detector {
+	return &Detector{Cfg: codec.DefaultConfig(), Sensitivity: 20}
+}
+
+// Compare returns the covisibility between two frames.
+func (d *Detector) Compare(prev, cur *frame.Image) (Score, error) {
+	res, err := codec.MotionEstimate(prev, cur, d.Cfg)
+	if err != nil {
+		return 0, fmt.Errorf("covis: %w", err)
+	}
+	d.LastResult = res
+	return d.scoreOf(res), nil
+}
+
+func (d *Detector) scoreOf(res *codec.Result) Score {
+	norm := float64(res.SumMinSAD()) / float64(res.MaxPossibleSAD())
+	s := 1 - d.Sensitivity*norm
+	if s < 0 {
+		s = 0
+	}
+	if s > 1 {
+		s = 1
+	}
+	return Score(s)
+}
+
+// LevelOf quantizes a covisibility score into 5 levels (1 = lowest
+// covisibility, 5 = highest), with uniform bins over [0,1].
+func LevelOf(s Score) Level {
+	switch {
+	case s >= 0.8:
+		return 5
+	case s >= 0.6:
+		return 4
+	case s >= 0.4:
+		return 3
+	case s >= 0.2:
+		return 2
+	default:
+		return 1
+	}
+}
+
+// Band classifies a score into the High/Medium/Low buckets of Fig. 22.
+func Band(s Score) string {
+	switch {
+	case s >= 0.75:
+		return "High"
+	case s >= 0.45:
+		return "Medium"
+	default:
+		return "Low"
+	}
+}

@@ -1,0 +1,107 @@
+package covis
+
+import (
+	"testing"
+
+	"ags/internal/scene"
+)
+
+func TestIdenticalFramesFullCovisibility(t *testing.T) {
+	seq := scene.MustGenerate("Desk", scene.Config{Width: 48, Height: 36, Frames: 2, Seed: 1})
+	d := NewDetector()
+	s, err := d.Compare(seq.Frames[0].Color, seq.Frames[0].Color)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s != 1 {
+		t.Errorf("self-covisibility = %v", s)
+	}
+	if d.LastResult == nil {
+		t.Error("LastResult not recorded")
+	}
+}
+
+func TestAdjacentFramesHigherThanDistant(t *testing.T) {
+	seq := scene.MustGenerate("Desk2", scene.Config{Width: 64, Height: 48, Frames: 12, Seed: 1})
+	d := NewDetector()
+	adj, err := d.Compare(seq.Frames[0].Color, seq.Frames[1].Color)
+	if err != nil {
+		t.Fatal(err)
+	}
+	far, err := d.Compare(seq.Frames[0].Color, seq.Frames[11].Color)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if adj <= far {
+		t.Errorf("adjacent covisibility %v <= distant %v", adj, far)
+	}
+}
+
+func TestXyzMoreCovisibleThanRoom(t *testing.T) {
+	// The slow-translation sequence must show higher adjacent-frame
+	// covisibility than the fast-rotation sweep — the premise of the paper's
+	// movement-adaptive tracking.
+	cfg := scene.Config{Width: 64, Height: 48, Frames: 8, Seed: 1}
+	xyz := scene.MustGenerate("Xyz", cfg)
+	room := scene.MustGenerate("Room", cfg)
+	d := NewDetector()
+	mean := func(s *scene.Sequence) float64 {
+		var sum float64
+		for i := 1; i < len(s.Frames); i++ {
+			sc, err := d.Compare(s.Frames[i-1].Color, s.Frames[i].Color)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sum += float64(sc)
+		}
+		return sum / float64(len(s.Frames)-1)
+	}
+	mx, mr := mean(xyz), mean(room)
+	if mx <= mr {
+		t.Errorf("mean covisibility: Xyz %v <= Room %v", mx, mr)
+	}
+}
+
+func TestLevelOfBoundaries(t *testing.T) {
+	cases := []struct {
+		s    Score
+		want Level
+	}{
+		{0.0, 1}, {0.19, 1}, {0.2, 2}, {0.45, 3}, {0.65, 4}, {0.8, 5}, {1.0, 5},
+	}
+	for _, c := range cases {
+		if got := LevelOf(c.s); got != c.want {
+			t.Errorf("LevelOf(%v) = %v, want %v", c.s, got, c.want)
+		}
+	}
+}
+
+func TestBandBoundaries(t *testing.T) {
+	cases := []struct {
+		s    Score
+		want string
+	}{
+		{0.9, "High"}, {0.75, "High"}, {0.6, "Medium"}, {0.45, "Medium"}, {0.3, "Low"},
+	}
+	for _, c := range cases {
+		if got := Band(c.s); got != c.want {
+			t.Errorf("Band(%v) = %v, want %v", c.s, got, c.want)
+		}
+	}
+}
+
+func TestScoreClampedToUnitInterval(t *testing.T) {
+	// With high sensitivity, very different frames must clamp to 0 rather
+	// than go negative.
+	seq1 := scene.MustGenerate("Desk", scene.Config{Width: 48, Height: 36, Frames: 1, Seed: 1})
+	seq2 := scene.MustGenerate("Room", scene.Config{Width: 48, Height: 36, Frames: 1, Seed: 2})
+	d := NewDetector()
+	d.Sensitivity = 500
+	s, err := d.Compare(seq1.Frames[0].Color, seq2.Frames[0].Color)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s < 0 || s > 1 {
+		t.Errorf("score %v outside [0,1]", s)
+	}
+}

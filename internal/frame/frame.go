@@ -1,0 +1,197 @@
+// Package frame defines the image containers shared by the renderer, the
+// CODEC model, the tracker and the dataset generator: float RGB images,
+// metric depth maps, and the RGB-D frames streamed through the SLAM pipeline.
+package frame
+
+import (
+	"fmt"
+	"math"
+
+	"ags/internal/vecmath"
+)
+
+// Image is a dense RGB image with float64 channels in [0,1], row-major.
+type Image struct {
+	W, H int
+	Pix  []vecmath.Vec3 // Pix[y*W+x] = (R,G,B)
+}
+
+// NewImage returns a black image of the given size.
+func NewImage(w, h int) *Image {
+	return &Image{W: w, H: h, Pix: make([]vecmath.Vec3, w*h)}
+}
+
+// At returns the pixel at (x, y). Out-of-bounds coordinates are clamped.
+func (im *Image) At(x, y int) vecmath.Vec3 {
+	x = clampInt(x, 0, im.W-1)
+	y = clampInt(y, 0, im.H-1)
+	return im.Pix[y*im.W+x]
+}
+
+// Set stores c at (x, y); out-of-bounds writes are ignored.
+func (im *Image) Set(x, y int, c vecmath.Vec3) {
+	if x < 0 || y < 0 || x >= im.W || y >= im.H {
+		return
+	}
+	im.Pix[y*im.W+x] = c
+}
+
+// Clone returns a deep copy of the image.
+func (im *Image) Clone() *Image {
+	out := NewImage(im.W, im.H)
+	copy(out.Pix, im.Pix)
+	return out
+}
+
+// Luma returns the per-pixel luminance (Rec.601 weights) as a flat slice.
+func (im *Image) Luma() []float64 {
+	out := make([]float64, len(im.Pix))
+	for i, p := range im.Pix {
+		out[i] = 0.299*p.X + 0.587*p.Y + 0.114*p.Z
+	}
+	return out
+}
+
+// Luma8 returns the luminance quantized to 8-bit values, matching what a
+// hardware CODEC's motion-estimation block consumes.
+func (im *Image) Luma8() []uint8 {
+	out := make([]uint8, len(im.Pix))
+	for i, p := range im.Pix {
+		y := 0.299*p.X + 0.587*p.Y + 0.114*p.Z
+		out[i] = uint8(vecmath.Clamp(y, 0, 1)*255 + 0.5)
+	}
+	return out
+}
+
+// Downsample returns the image reduced by 2x using 2x2 box averaging.
+func (im *Image) Downsample() *Image {
+	w, h := im.W/2, im.H/2
+	out := NewImage(w, h)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			sum := im.At(2*x, 2*y).
+				Add(im.At(2*x+1, 2*y)).
+				Add(im.At(2*x, 2*y+1)).
+				Add(im.At(2*x+1, 2*y+1))
+			out.Pix[y*w+x] = sum.Scale(0.25)
+		}
+	}
+	return out
+}
+
+// Bilinear samples the image at continuous coordinates with bilinear
+// interpolation; coordinates are clamped to the image border.
+func (im *Image) Bilinear(x, y float64) vecmath.Vec3 {
+	x = vecmath.Clamp(x, 0, float64(im.W-1))
+	y = vecmath.Clamp(y, 0, float64(im.H-1))
+	x0, y0 := int(x), int(y)
+	fx, fy := x-float64(x0), y-float64(y0)
+	c00 := im.At(x0, y0)
+	c10 := im.At(x0+1, y0)
+	c01 := im.At(x0, y0+1)
+	c11 := im.At(x0+1, y0+1)
+	top := c00.Lerp(c10, fx)
+	bot := c01.Lerp(c11, fx)
+	return top.Lerp(bot, fy)
+}
+
+// DepthMap is a dense metric depth image; zero means "no measurement".
+type DepthMap struct {
+	W, H int
+	D    []float64
+}
+
+// NewDepthMap returns an all-zero (invalid) depth map.
+func NewDepthMap(w, h int) *DepthMap {
+	return &DepthMap{W: w, H: h, D: make([]float64, w*h)}
+}
+
+// At returns the depth at (x, y) with border clamping.
+func (dm *DepthMap) At(x, y int) float64 {
+	x = clampInt(x, 0, dm.W-1)
+	y = clampInt(y, 0, dm.H-1)
+	return dm.D[y*dm.W+x]
+}
+
+// Set stores d at (x, y); out-of-bounds writes are ignored.
+func (dm *DepthMap) Set(x, y int, d float64) {
+	if x < 0 || y < 0 || x >= dm.W || y >= dm.H {
+		return
+	}
+	dm.D[y*dm.W+x] = d
+}
+
+// Clone returns a deep copy.
+func (dm *DepthMap) Clone() *DepthMap {
+	out := NewDepthMap(dm.W, dm.H)
+	copy(out.D, dm.D)
+	return out
+}
+
+// Downsample reduces the map by 2x, averaging only valid (non-zero) samples.
+func (dm *DepthMap) Downsample() *DepthMap {
+	w, h := dm.W/2, dm.H/2
+	out := NewDepthMap(w, h)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			var sum float64
+			var n int
+			for dy := 0; dy < 2; dy++ {
+				for dx := 0; dx < 2; dx++ {
+					if d := dm.At(2*x+dx, 2*y+dy); d > 0 {
+						sum += d
+						n++
+					}
+				}
+			}
+			if n > 0 {
+				out.D[y*w+x] = sum / float64(n)
+			}
+		}
+	}
+	return out
+}
+
+// Frame is one RGB-D observation streamed into the SLAM system.
+type Frame struct {
+	Index  int
+	Color  *Image
+	Depth  *DepthMap
+	GTPose vecmath.Pose // ground-truth world->camera pose (evaluation only)
+}
+
+// Validate reports whether the frame's buffers are consistent.
+func (f *Frame) Validate() error {
+	if f.Color == nil || f.Depth == nil {
+		return fmt.Errorf("frame %d: missing color or depth", f.Index)
+	}
+	if f.Color.W != f.Depth.W || f.Color.H != f.Depth.H {
+		return fmt.Errorf("frame %d: color %dx%d vs depth %dx%d",
+			f.Index, f.Color.W, f.Color.H, f.Depth.W, f.Depth.H)
+	}
+	return nil
+}
+
+// MeanAbsDiff returns the mean absolute per-channel difference between two
+// images of identical size; it returns +Inf on size mismatch.
+func MeanAbsDiff(a, b *Image) float64 {
+	if a.W != b.W || a.H != b.H {
+		return math.Inf(1)
+	}
+	var sum float64
+	for i := range a.Pix {
+		d := a.Pix[i].Sub(b.Pix[i]).Abs()
+		sum += d.X + d.Y + d.Z
+	}
+	return sum / float64(3*len(a.Pix))
+}
+
+func clampInt(x, lo, hi int) int {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}

@@ -1,0 +1,129 @@
+package frame
+
+import (
+	"math"
+	"testing"
+
+	"ags/internal/vecmath"
+)
+
+func TestImageSetAtRoundTrip(t *testing.T) {
+	im := NewImage(8, 6)
+	c := vecmath.Vec3{X: 0.1, Y: 0.5, Z: 0.9}
+	im.Set(3, 2, c)
+	if got := im.At(3, 2); got != c {
+		t.Errorf("At = %v", got)
+	}
+	// Out of bounds set must be a no-op; At must clamp.
+	im.Set(-1, 0, c)
+	im.Set(8, 0, c)
+	if got := im.At(-5, -5); got != im.At(0, 0) {
+		t.Error("At did not clamp")
+	}
+}
+
+func TestImageClone(t *testing.T) {
+	im := NewImage(4, 4)
+	im.Set(1, 1, vecmath.Vec3{X: 1})
+	cp := im.Clone()
+	cp.Set(1, 1, vecmath.Vec3{Y: 1})
+	if im.At(1, 1).Y != 0 {
+		t.Error("clone aliases original")
+	}
+}
+
+func TestLumaWeights(t *testing.T) {
+	im := NewImage(1, 1)
+	im.Set(0, 0, vecmath.Vec3{X: 1, Y: 1, Z: 1})
+	if l := im.Luma()[0]; math.Abs(l-1) > 1e-9 {
+		t.Errorf("white luma = %v", l)
+	}
+	im.Set(0, 0, vecmath.Vec3{Y: 1})
+	if l := im.Luma()[0]; math.Abs(l-0.587) > 1e-9 {
+		t.Errorf("green luma = %v", l)
+	}
+}
+
+func TestLuma8Range(t *testing.T) {
+	im := NewImage(2, 1)
+	im.Set(0, 0, vecmath.Vec3{X: 2, Y: 2, Z: 2})    // over-range clamps to 255
+	im.Set(1, 0, vecmath.Vec3{X: -1, Y: -1, Z: -1}) // under-range clamps to 0
+	l := im.Luma8()
+	if l[0] != 255 || l[1] != 0 {
+		t.Errorf("Luma8 = %v", l)
+	}
+}
+
+func TestDownsampleAveraging(t *testing.T) {
+	im := NewImage(4, 2)
+	for x := 0; x < 4; x++ {
+		for y := 0; y < 2; y++ {
+			im.Set(x, y, vecmath.Vec3{X: float64(x % 2)})
+		}
+	}
+	ds := im.Downsample()
+	if ds.W != 2 || ds.H != 1 {
+		t.Fatalf("downsample size %dx%d", ds.W, ds.H)
+	}
+	if math.Abs(ds.At(0, 0).X-0.5) > 1e-9 {
+		t.Errorf("box average = %v", ds.At(0, 0).X)
+	}
+}
+
+func TestBilinearCorners(t *testing.T) {
+	im := NewImage(2, 2)
+	im.Set(0, 0, vecmath.Vec3{X: 1})
+	im.Set(1, 0, vecmath.Vec3{Y: 1})
+	if got := im.Bilinear(0, 0); got.X != 1 {
+		t.Errorf("corner sample = %v", got)
+	}
+	mid := im.Bilinear(0.5, 0)
+	if math.Abs(mid.X-0.5) > 1e-9 || math.Abs(mid.Y-0.5) > 1e-9 {
+		t.Errorf("midpoint sample = %v", mid)
+	}
+}
+
+func TestDepthDownsampleIgnoresInvalid(t *testing.T) {
+	dm := NewDepthMap(2, 2)
+	dm.Set(0, 0, 2.0)
+	// Remaining three pixels invalid (0). Average must use the valid one only.
+	ds := dm.Downsample()
+	if math.Abs(ds.At(0, 0)-2.0) > 1e-9 {
+		t.Errorf("depth downsample = %v", ds.At(0, 0))
+	}
+	empty := NewDepthMap(2, 2).Downsample()
+	if empty.At(0, 0) != 0 {
+		t.Error("all-invalid block should stay invalid")
+	}
+}
+
+func TestFrameValidate(t *testing.T) {
+	f := &Frame{Index: 1, Color: NewImage(4, 4), Depth: NewDepthMap(4, 4)}
+	if err := f.Validate(); err != nil {
+		t.Errorf("valid frame rejected: %v", err)
+	}
+	bad := &Frame{Index: 2, Color: NewImage(4, 4), Depth: NewDepthMap(3, 4)}
+	if err := bad.Validate(); err == nil {
+		t.Error("size mismatch accepted")
+	}
+	if err := (&Frame{Index: 3}).Validate(); err == nil {
+		t.Error("nil buffers accepted")
+	}
+}
+
+func TestMeanAbsDiff(t *testing.T) {
+	a := NewImage(2, 2)
+	b := NewImage(2, 2)
+	if d := MeanAbsDiff(a, b); d != 0 {
+		t.Errorf("identical images diff = %v", d)
+	}
+	b.Set(0, 0, vecmath.Vec3{X: 1, Y: 1, Z: 1})
+	want := 3.0 / 12.0
+	if d := MeanAbsDiff(a, b); math.Abs(d-want) > 1e-12 {
+		t.Errorf("diff = %v want %v", d, want)
+	}
+	c := NewImage(3, 2)
+	if !math.IsInf(MeanAbsDiff(a, c), 1) {
+		t.Error("size mismatch should be +Inf")
+	}
+}

@@ -1,0 +1,161 @@
+// Package gauss defines the 3D Gaussian primitive and the growable cloud of
+// Gaussians the SLAM map is made of. Parameters follow SplaTAM's convention:
+// RGB color (no spherical harmonics), logit opacity, log scale and a unit
+// quaternion rotation, so all optimizer updates are unconstrained.
+package gauss
+
+import (
+	"fmt"
+	"math"
+
+	"ags/internal/vecmath"
+)
+
+// Gaussian is one anisotropic 3D Gaussian primitive.
+type Gaussian struct {
+	Mean     vecmath.Vec3 // world-space center
+	LogScale vecmath.Vec3 // per-axis log standard deviation
+	Rot      vecmath.Quat // orientation of the principal axes
+	Color    vecmath.Vec3 // RGB in [0,1] (stored unclamped, clamped at render)
+	Logit    float64      // opacity in logit space; Opacity() = sigmoid(Logit)
+}
+
+// Opacity returns the Gaussian's opacity in (0,1).
+func (g *Gaussian) Opacity() float64 { return Sigmoid(g.Logit) }
+
+// SetOpacity stores o (clamped away from 0 and 1) in logit space.
+func (g *Gaussian) SetOpacity(o float64) {
+	o = vecmath.Clamp(o, 1e-6, 1-1e-6)
+	g.Logit = math.Log(o / (1 - o))
+}
+
+// Scale returns the per-axis standard deviations exp(LogScale).
+func (g *Gaussian) Scale() vecmath.Vec3 {
+	return vecmath.Vec3{
+		X: math.Exp(g.LogScale.X),
+		Y: math.Exp(g.LogScale.Y),
+		Z: math.Exp(g.LogScale.Z),
+	}
+}
+
+// SetScale stores per-axis standard deviations in log space.
+func (g *Gaussian) SetScale(s vecmath.Vec3) {
+	g.LogScale = vecmath.Vec3{
+		X: math.Log(math.Max(s.X, 1e-9)),
+		Y: math.Log(math.Max(s.Y, 1e-9)),
+		Z: math.Log(math.Max(s.Z, 1e-9)),
+	}
+}
+
+// Cov3 returns the world-space 3x3 covariance R S S^T R^T.
+func (g *Gaussian) Cov3() vecmath.Mat3 {
+	r := g.Rot.Mat3()
+	s := g.Scale()
+	ss := vecmath.Diag3(vecmath.Vec3{X: s.X * s.X, Y: s.Y * s.Y, Z: s.Z * s.Z})
+	return r.Mul(ss).Mul(r.Transpose())
+}
+
+// MaxRadius returns a conservative world-space radius (3 sigma of the largest
+// axis) used for visibility culling.
+func (g *Gaussian) MaxRadius() float64 {
+	s := g.Scale()
+	return 3 * s.MaxComponent()
+}
+
+// Cloud is the growable set of Gaussians representing the scene. Index
+// positions are stable: pruning marks Gaussians inactive rather than
+// compacting, so recorded contribution tables stay valid across frames
+// (the GS logging / skipping tables key on these IDs).
+type Cloud struct {
+	Gaussians []Gaussian
+	Active    []bool
+}
+
+// NewCloud returns an empty cloud with capacity hint n.
+func NewCloud(n int) *Cloud {
+	return &Cloud{
+		Gaussians: make([]Gaussian, 0, n),
+		Active:    make([]bool, 0, n),
+	}
+}
+
+// Len returns the total number of slots (active and inactive).
+func (c *Cloud) Len() int { return len(c.Gaussians) }
+
+// NumActive returns the number of active Gaussians.
+func (c *Cloud) NumActive() int {
+	n := 0
+	for _, a := range c.Active {
+		if a {
+			n++
+		}
+	}
+	return n
+}
+
+// Add appends a Gaussian and returns its stable ID.
+func (c *Cloud) Add(g Gaussian) int {
+	c.Gaussians = append(c.Gaussians, g)
+	c.Active = append(c.Active, true)
+	return len(c.Gaussians) - 1
+}
+
+// Prune deactivates the Gaussian with the given ID.
+func (c *Cloud) Prune(id int) {
+	if id >= 0 && id < len(c.Active) {
+		c.Active[id] = false
+	}
+}
+
+// At returns a pointer to the Gaussian with the given ID.
+func (c *Cloud) At(id int) *Gaussian { return &c.Gaussians[id] }
+
+// IsActive reports whether the Gaussian with the given ID is active.
+func (c *Cloud) IsActive(id int) bool {
+	return id >= 0 && id < len(c.Active) && c.Active[id]
+}
+
+// Clone returns a deep copy of the cloud.
+func (c *Cloud) Clone() *Cloud {
+	out := &Cloud{
+		Gaussians: make([]Gaussian, len(c.Gaussians)),
+		Active:    make([]bool, len(c.Active)),
+	}
+	copy(out.Gaussians, c.Gaussians)
+	copy(out.Active, c.Active)
+	return out
+}
+
+// Validate checks structural invariants; it is used by tests and by the
+// pipeline's debug mode.
+func (c *Cloud) Validate() error {
+	if len(c.Gaussians) != len(c.Active) {
+		return fmt.Errorf("gauss: %d gaussians vs %d active flags", len(c.Gaussians), len(c.Active))
+	}
+	for i := range c.Gaussians {
+		g := &c.Gaussians[i]
+		if !g.Mean.IsFinite() || !g.LogScale.IsFinite() || !g.Color.IsFinite() {
+			return fmt.Errorf("gauss: non-finite parameters at id %d", i)
+		}
+		if math.IsNaN(g.Logit) || math.IsInf(g.Logit, 0) {
+			return fmt.Errorf("gauss: non-finite logit at id %d", i)
+		}
+		if n := g.Rot.Norm(); math.Abs(n-1) > 1e-3 {
+			return fmt.Errorf("gauss: rotation norm %g at id %d", n, i)
+		}
+	}
+	return nil
+}
+
+// Sigmoid is the logistic function.
+func Sigmoid(x float64) float64 {
+	if x >= 0 {
+		z := math.Exp(-x)
+		return 1 / (1 + z)
+	}
+	z := math.Exp(x)
+	return z / (1 + z)
+}
+
+// SigmoidGrad returns d(sigmoid)/dx expressed via the output value s.
+func SigmoidGrad(s float64) float64 { return s * (1 - s) }

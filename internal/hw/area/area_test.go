@@ -1,0 +1,54 @@
+package area
+
+import (
+	"math"
+	"testing"
+)
+
+func TestTotalsMatchPaperTable3(t *testing.T) {
+	// Paper: AGS-Edge 7.25 mm^2, AGS-Server 14.38 mm^2. The unit-area
+	// constants are derived from the same table, so totals must land within
+	// a few percent.
+	edge := Total(Edge())
+	server := Total(Server())
+	if math.Abs(edge-7.25)/7.25 > 0.10 {
+		t.Errorf("edge area = %.2f mm^2, paper 7.25", edge)
+	}
+	if math.Abs(server-14.38)/14.38 > 0.10 {
+		t.Errorf("server area = %.2f mm^2, paper 14.38", server)
+	}
+}
+
+func TestServerLargerThanEdge(t *testing.T) {
+	if Total(Server()) <= Total(Edge()) {
+		t.Error("server variant not larger than edge")
+	}
+}
+
+func TestEnginesDominateArea(t *testing.T) {
+	// Paper: "The pose tracking engine and the mapping engine ... occupy
+	// more than 90% of the chip area."
+	for _, cfg := range []Config{Edge(), Server()} {
+		var engines, total float64
+		for _, m := range Breakdown(cfg) {
+			total += m.AreaMM2
+			if m.Engine != "FC Detection Engine" {
+				engines += m.AreaMM2
+			}
+		}
+		if engines/total < 0.9 {
+			t.Errorf("%s: engines are only %.1f%% of area", cfg.Name, 100*engines/total)
+		}
+	}
+}
+
+func TestBreakdownHasTwelveRows(t *testing.T) {
+	if n := len(Breakdown(Edge())); n != 12 {
+		t.Errorf("breakdown rows = %d", n)
+	}
+	for _, m := range Breakdown(Edge()) {
+		if m.AreaMM2 <= 0 {
+			t.Errorf("module %s/%s has non-positive area", m.Engine, m.Component)
+		}
+	}
+}

@@ -1,0 +1,80 @@
+package platform
+
+import (
+	"ags/internal/hw/trace"
+)
+
+// GSCore models the paper's comparison accelerator (§6.1): GSCore speeds up
+// the forward rendering of 3DGS (shape-aware intersection, hierarchical
+// sorting, sub-tile skipping) but offers no support for training, so its
+// inference path is combined with the remaining training work on the host
+// GPU ("we combine the accelerated inference process of GSCore with the rest
+// training process ... on the GPUs").
+type GSCore struct {
+	Label string
+	Host  *GPU
+	// RenderGPEs is the accelerator's blending throughput (ops/cycle).
+	RenderGPEs int
+	FreqMHz    float64
+	// CullFactor is the fraction of alpha work its intersection test and
+	// sub-tile skipping remove.
+	CullFactor float64
+	PowerW     float64
+}
+
+// GSCoreServer pairs GSCore with the A100 host.
+func GSCoreServer() *GSCore {
+	return &GSCore{Label: "GSCore-Server", Host: A100(), RenderGPEs: 256, FreqMHz: 1000, CullFactor: 0.35, PowerW: 2}
+}
+
+// GSCoreEdge pairs GSCore with the Xavier host.
+func GSCoreEdge() *GSCore {
+	return &GSCore{Label: "GSCore-Edge", Host: Xavier(), RenderGPEs: 128, FreqMHz: 1000, CullFactor: 0.35, PowerW: 1}
+}
+
+// Name implements Platform.
+func (g *GSCore) Name() string { return g.Label }
+
+// renderNs is GSCore's time for the forward-render portion of a task.
+func (g *GSCore) renderNs(s *trace.RenderStats) float64 {
+	if s.Iters == 0 {
+		return 0
+	}
+	alpha := float64(s.AlphaOps) * (1 - g.CullFactor)
+	cycles := (alpha + float64(s.BlendOps)) / float64(g.RenderGPEs)
+	cycles += float64(s.Splats*2+s.TileEntries) / float64(g.RenderGPEs)
+	return cycles * 1e3 / g.FreqMHz
+}
+
+// hostBackwardNs is the GPU time for everything GSCore cannot run: the
+// backward pass, the loss, and the optimizer step (about half the kernels).
+func (g *GSCore) hostBackwardNs(s *trace.RenderStats) (float64, int64) {
+	if s.Iters == 0 {
+		return 0, 0
+	}
+	flops := float64(s.BackwardOps) * flopsBackward
+	bytes := splatBytes(s)
+	compute := flops / (g.Host.PeakGFLOPS * g.Host.Efficiency)
+	mem := float64(bytes) / g.Host.BWGBs
+	t := compute
+	if mem > t {
+		t = mem
+	}
+	t += float64(s.Iters*(g.Host.KernelsPerIter-2)) * g.Host.KernelOverheadUs * 1e3
+	// Handing each iteration's render back and forth costs a sync.
+	t += float64(s.Iters) * g.Host.KernelOverheadUs * 1e3
+	return t, bytes
+}
+
+// Frame implements Platform.
+func (g *GSCore) Frame(f *trace.FrameTrace) Breakdown {
+	var b Breakdown
+	tr, trB := g.hostBackwardNs(&f.Track)
+	b.TrackNs = g.renderNs(&f.Track) + tr
+	mp, mpB := g.hostBackwardNs(&f.Map)
+	b.MapNs = g.renderNs(&f.Map) + mp
+	b.Bytes = trB + mpB
+	b.TotalNs = b.TrackNs + b.MapNs
+	b.EnergyJ = (g.Host.BusyPowerW + g.PowerW) * b.TotalNs * 1e-9
+	return b
+}

@@ -1,0 +1,69 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Summary is the compact, JSON-friendly view of a run: per-frame scalar
+// counters without the bulky representative workloads. It is what
+// `ags-slam -trace` writes for consumption by external analysis tools.
+type Summary struct {
+	Sequence string         `json:"sequence"`
+	Width    int            `json:"width"`
+	Height   int            `json:"height"`
+	Frames   []FrameSummary `json:"frames"`
+	Totals   Totals         `json:"totals"`
+}
+
+// FrameSummary is one frame's scalar counters.
+type FrameSummary struct {
+	Index        int     `json:"index"`
+	Covisibility float64 `json:"covisibility"`
+	KeyFrame     bool    `json:"key_frame"`
+	CoarseOnly   bool    `json:"coarse_only"`
+	TrackIters   int     `json:"track_iters"`
+	MapIters     int     `json:"map_iters"`
+	AlphaOps     int64   `json:"alpha_ops"`
+	BlendOps     int64   `json:"blend_ops"`
+	BackwardOps  int64   `json:"backward_ops"`
+	SADOps       int64   `json:"sad_ops"`
+	CoarseMACs   int64   `json:"coarse_macs"`
+	Gaussians    int     `json:"gaussians"`
+	Skipped      int     `json:"skipped_gaussians"`
+}
+
+// Summarize converts a run into its compact form.
+func (r *Run) Summarize() Summary {
+	s := Summary{Sequence: r.Sequence, Width: r.Width, Height: r.Height, Totals: r.Totals()}
+	for i := range r.Frames {
+		f := &r.Frames[i]
+		s.Frames = append(s.Frames, FrameSummary{
+			Index:        f.Index,
+			Covisibility: f.Covisibility,
+			KeyFrame:     f.IsKeyFrame,
+			CoarseOnly:   f.CoarseOnly,
+			TrackIters:   f.Track.Iters,
+			MapIters:     f.Map.Iters,
+			AlphaOps:     f.Track.AlphaOps + f.Map.AlphaOps,
+			BlendOps:     f.Track.BlendOps + f.Map.BlendOps,
+			BackwardOps:  f.Track.BackwardOps + f.Map.BackwardOps,
+			SADOps:       f.CodecSADOps,
+			CoarseMACs:   f.CoarseMACs,
+			Gaussians:    f.NumGaussians,
+			Skipped:      f.SkippedGaussians,
+		})
+	}
+	return s
+}
+
+// WriteJSON writes the run's summary as indented JSON.
+func (r *Run) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(r.Summarize()); err != nil {
+		return fmt.Errorf("trace: encode: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,382 @@
+// Package mapper implements the map-side of 3DGS-SLAM: densification
+// (seeding Gaussians from RGB-D observations), full mapping (N_M training
+// iterations that also record per-Gaussian contribution information), and
+// AGS's Gaussian contribution-aware selective mapping that skips Gaussians
+// predicted non-contributory from the last key frame (paper §4.3, Fig. 8).
+package mapper
+
+import (
+	"math/rand"
+
+	"ags/internal/camera"
+	"ags/internal/frame"
+	"ags/internal/gauss"
+	"ags/internal/hw/trace"
+	"ags/internal/optim"
+	"ags/internal/splat"
+	"ags/internal/vecmath"
+)
+
+// Config controls mapping behavior.
+type Config struct {
+	// MapIters is N_M, the training iterations per frame.
+	MapIters int
+	// ThreshAlpha marks a Gaussian non-contributory for a pixel when its
+	// alpha is below this (paper: 1/255).
+	ThreshAlpha float64
+	// ThreshN marks a Gaussian non-contributory for following non-key frames
+	// when its non-contributory pixel count exceeds this (paper: 450 at
+	// 640x480; scale with resolution).
+	ThreshN int
+	// ContribPixMax is the largest number of contributing pixels (alpha >=
+	// ThreshAlpha) a Gaussian may have and still be skipped. The paper's
+	// count-only criterion assumes trained-3DGS splat statistics; with
+	// SplaTAM-style pixel-scale Gaussians every contributor also has a large
+	// weak-tail footprint, so we additionally require (near-)zero
+	// contributing pixels — matching Fig. 5's "no impact on pixel color"
+	// definition and the paper's FP metric (see DESIGN.md).
+	ContribPixMax int
+	// DensifyStride seeds one Gaussian per stride x stride pixel block.
+	DensifyStride int
+	// SilThreshold: pixels with rendered silhouette below this are
+	// considered unobserved and get new Gaussians during densification.
+	SilThreshold float64
+	// DepthErrThresh: observed pixels whose depth error exceeds this
+	// fraction of the measurement get new Gaussians too.
+	DepthErrThresh float64
+	// PruneOpacity deactivates Gaussians whose opacity falls below this.
+	PruneOpacity float64
+	// Learning rates per parameter group.
+	LRMean, LRColor, LRLogit, LRScale float64
+	// KeyframeWindow is how many past keyframes mapping samples from.
+	KeyframeWindow int
+	Workers        int
+	Seed           int64
+}
+
+// DefaultConfig returns mapping settings tuned for the reproduction's frame
+// sizes; ThreshN is resolution-scaled by the caller (see slam.DefaultConfig).
+func DefaultConfig() Config {
+	return Config{
+		MapIters:       15,
+		ThreshAlpha:    1.0 / 255,
+		ThreshN:        10,
+		ContribPixMax:  1,
+		DensifyStride:  1,
+		SilThreshold:   0.5,
+		DepthErrThresh: 0.05,
+		PruneOpacity:   0.005,
+		LRMean:         1e-3,
+		LRColor:        5e-3,
+		LRLogit:        2e-2,
+		LRScale:        1e-3,
+		KeyframeWindow: 8,
+		Seed:           1,
+	}
+}
+
+// Keyframe is a stored reference view used by the multi-view mapping loss.
+type Keyframe struct {
+	Frame *frame.Frame
+	Pose  vecmath.Pose
+}
+
+// Mapper owns the Gaussian cloud and its optimizer state.
+type Mapper struct {
+	Cfg   Config
+	cloud *gauss.Cloud
+	opt   *optim.GroupAdam
+	rng   *rand.Rand
+
+	// Contribution info recorded at the last key frame (per Gaussian ID).
+	nonContrib []int32
+	contrib    []int32 // pixels with alpha >= ThreshAlpha
+	// skipSet flags Gaussians predicted non-contributory for non-key frames.
+	skipSet []bool
+	// keyframes retained for the multi-view loss.
+	keyframes []Keyframe
+}
+
+// New returns an empty mapper.
+func New(cfg Config) *Mapper {
+	return &Mapper{
+		Cfg:   cfg,
+		cloud: gauss.NewCloud(4096),
+		opt:   newOpt(cfg),
+		rng:   rand.New(rand.NewSource(cfg.Seed)),
+	}
+}
+
+func newOpt(cfg Config) *optim.GroupAdam {
+	return optim.NewGroupAdam(map[string]float64{
+		"mean":  cfg.LRMean,
+		"color": cfg.LRColor,
+		"logit": cfg.LRLogit,
+		"scale": cfg.LRScale,
+	})
+}
+
+// Cloud exposes the map.
+func (m *Mapper) Cloud() *gauss.Cloud { return m.cloud }
+
+// SkipSet returns the current per-ID skip flags (shared, do not mutate).
+func (m *Mapper) SkipSet() []bool { return m.skipSet }
+
+// NumSkipped returns how many active Gaussians the skip set suppresses.
+func (m *Mapper) NumSkipped() int {
+	n := 0
+	for id, s := range m.skipSet {
+		if s && m.cloud.IsActive(id) {
+			n++
+		}
+	}
+	return n
+}
+
+// PredictedNonContrib returns the IDs the skip set marks, for FP-rate
+// evaluation against ground truth (§6.2).
+func (m *Mapper) PredictedNonContrib() map[int]bool {
+	out := make(map[int]bool)
+	for id, s := range m.skipSet {
+		if s && m.cloud.IsActive(id) {
+			out[id] = true
+		}
+	}
+	return out
+}
+
+// AddKeyframe retains a reference view for the multi-view mapping loss.
+func (m *Mapper) AddKeyframe(f *frame.Frame, pose vecmath.Pose) {
+	m.keyframes = append(m.keyframes, Keyframe{Frame: f, Pose: pose})
+	if len(m.keyframes) > m.Cfg.KeyframeWindow {
+		m.keyframes = m.keyframes[len(m.keyframes)-m.Cfg.KeyframeWindow:]
+	}
+}
+
+// Keyframes returns the retained reference views.
+func (m *Mapper) Keyframes() []Keyframe { return m.keyframes }
+
+// Densify adds Gaussians for unobserved or badly-explained pixels of the
+// frame (SplaTAM's silhouette-driven densification). On an empty cloud it
+// seeds every stride-th pixel. It returns how many Gaussians were added.
+func (m *Mapper) Densify(f *frame.Frame, intr camera.Intrinsics, pose vecmath.Pose) int {
+	stride := m.Cfg.DensifyStride
+	if stride < 1 {
+		stride = 1
+	}
+	cam := camera.Camera{Intr: intr, Pose: pose}
+	var res *splat.Result
+	if m.cloud.NumActive() > 0 {
+		res = splat.Render(m.cloud, cam, splat.Options{Workers: m.Cfg.Workers})
+	}
+	inv := pose.Inverse()
+	added := 0
+	for y := 0; y < intr.H; y += stride {
+		for x := 0; x < intr.W; x += stride {
+			d := f.Depth.At(x, y)
+			if d <= 0 {
+				continue
+			}
+			if res != nil {
+				pix := y*intr.W + x
+				sil := res.Silhouette[pix]
+				need := sil < m.Cfg.SilThreshold
+				if !need && sil > 1e-6 {
+					rendered := res.Depth.D[pix] / sil
+					if absf(rendered-d) > m.Cfg.DepthErrThresh*d {
+						need = true
+					}
+				}
+				if !need {
+					continue
+				}
+			}
+			pc := intr.Unproject(vecmath.Vec2{X: float64(x) + 0.5, Y: float64(y) + 0.5}, d)
+			g := gauss.Gaussian{
+				Mean:  inv.Apply(pc),
+				Rot:   vecmath.QuatIdentity(),
+				Color: f.Color.At(x, y),
+			}
+			s := 0.6 * d * float64(stride) / intr.Fx
+			g.SetScale(vecmath.Vec3{X: s, Y: s, Z: s})
+			g.SetOpacity(0.999)
+			id := m.cloud.Add(g)
+			added++
+			_ = id
+		}
+	}
+	if added > 0 {
+		// Optimizer moments are invalidated by the size change; GroupAdam
+		// reinitializes automatically on the next step. The skip set grows
+		// with new Gaussians defaulting to "not skipped".
+		m.growSkipSet()
+	}
+	return added
+}
+
+func (m *Mapper) growSkipSet() {
+	for len(m.skipSet) < m.cloud.Len() {
+		m.skipSet = append(m.skipSet, false)
+	}
+	for len(m.nonContrib) < m.cloud.Len() {
+		m.nonContrib = append(m.nonContrib, 0)
+	}
+	for len(m.contrib) < m.cloud.Len() {
+		m.contrib = append(m.contrib, 0)
+	}
+}
+
+// Prune deactivates Gaussians whose opacity collapsed; returns the count.
+func (m *Mapper) Prune() int {
+	n := 0
+	for id := range m.cloud.Gaussians {
+		if !m.cloud.IsActive(id) {
+			continue
+		}
+		if m.cloud.At(id).Opacity() < m.Cfg.PruneOpacity {
+			m.cloud.Prune(id)
+			n++
+		}
+	}
+	return n
+}
+
+// FullMapping runs N_M training iterations with every active Gaussian (key
+// frames, path C of Fig. 7), recording contribution information on the last
+// iteration and refreshing the skip set for subsequent non-key frames.
+// It returns the workload stats and the Gaussian-table access stream for the
+// hardware model's GS logging table.
+func (m *Mapper) FullMapping(f *frame.Frame, intr camera.Intrinsics, pose vecmath.Pose) (trace.RenderStats, [][]int32) {
+	stats, logIDs := m.optimize(f, intr, pose, nil, true)
+	return stats, logIDs
+}
+
+// SelectiveMapping runs N_M training iterations with the predicted
+// non-contributory Gaussians skipped (non-key frames, path D of Fig. 7).
+func (m *Mapper) SelectiveMapping(f *frame.Frame, intr camera.Intrinsics, pose vecmath.Pose) trace.RenderStats {
+	stats, _ := m.optimize(f, intr, pose, m.skipSet, false)
+	return stats
+}
+
+// optimize is the shared mapping loop.
+func (m *Mapper) optimize(f *frame.Frame, intr camera.Intrinsics, pose vecmath.Pose, skip []bool, logContrib bool) (trace.RenderStats, [][]int32) {
+	var stats trace.RenderStats
+	var logIDs [][]int32
+	loss := splat.DefaultMappingLoss()
+	for i := 0; i < m.Cfg.MapIters; i++ {
+		// Mapping uses the current frame plus previous keyframes
+		// (paper §2.2: "mapping utilizes not only the current pose ... but
+		// also other poses and images from previous frames").
+		tf, tp := f, pose
+		if i%3 == 2 && len(m.keyframes) > 0 {
+			kf := m.keyframes[m.rng.Intn(len(m.keyframes))]
+			tf, tp = kf.Frame, kf.Pose
+		}
+		cam := camera.Camera{Intr: intr, Pose: tp}
+		last := i == m.Cfg.MapIters-1
+		opts := splat.Options{Skip: skip, Workers: m.Cfg.Workers}
+		if logContrib && last {
+			opts.LogContribution = true
+			opts.ThreshAlpha = m.Cfg.ThreshAlpha
+		}
+		res := splat.Render(m.cloud, cam, opts)
+		grads := splat.Backward(m.cloud, cam, res, tf, loss, splat.BackwardOptions{GaussianGrads: true, Workers: m.Cfg.Workers})
+		m.applyGrads(grads)
+
+		stats.Accumulate(res.AlphaOps, res.BlendOps, 2*res.BlendOps,
+			int64(len(res.Splats)), int64(res.Tiles.TotalEntries()), int64(intr.W*intr.H))
+		if last {
+			stats.RepPerPixelBlend = res.PerPixelBlend
+			stats.RepPerPixelAlpha = res.PerPixelAlpha
+			stats.RepTileLists = res.TileIDLists()
+			stats.Width, stats.Height = intr.W, intr.H
+			if logContrib {
+				m.recordContribution(res)
+				logIDs = stats.RepTileLists
+			}
+		}
+	}
+	return stats, logIDs
+}
+
+// recordContribution updates the stored contribution info and skip set from
+// a logged render (the GS logging table write path, Fig. 11).
+func (m *Mapper) recordContribution(res *splat.Result) {
+	m.growSkipSet()
+	for id := range m.nonContrib {
+		if id < len(res.NonContrib) {
+			m.nonContrib[id] = res.NonContrib[id]
+			m.contrib[id] = res.Touched[id] - res.NonContrib[id]
+		} else {
+			m.nonContrib[id] = 0
+			m.contrib[id] = 0
+		}
+	}
+	// Refresh the skip set (the GS skipping table + comparison unit,
+	// Fig. 12): skip when the Gaussian contributed (almost) nowhere and its
+	// wasted pixel count exceeds ThreshN.
+	for id := range m.skipSet {
+		m.skipSet[id] = int(m.contrib[id]) <= m.Cfg.ContribPixMax &&
+			int(m.nonContrib[id]) > m.Cfg.ThreshN
+	}
+}
+
+// NonContribCount returns the recorded non-contributory pixel count per
+// Gaussian ID (zero-extended to the cloud's size).
+func (m *Mapper) NonContribCount() []int32 {
+	m.growSkipSet()
+	out := make([]int32, len(m.nonContrib))
+	copy(out, m.nonContrib)
+	return out
+}
+
+// ContribCount returns the recorded contributing pixel count per Gaussian ID.
+func (m *Mapper) ContribCount() []int32 {
+	m.growSkipSet()
+	out := make([]int32, len(m.contrib))
+	copy(out, m.contrib)
+	return out
+}
+
+// applyGrads steps the per-group Adam optimizers over the flattened
+// parameters of the active Gaussians.
+func (m *Mapper) applyGrads(grads *splat.Grads) {
+	n := m.cloud.Len()
+	means := make([]float64, 3*n)
+	meanG := make([]float64, 3*n)
+	colors := make([]float64, 3*n)
+	colorG := make([]float64, 3*n)
+	logits := make([]float64, n)
+	logitG := make([]float64, n)
+	scales := make([]float64, n)
+	scaleG := make([]float64, n)
+	for id := 0; id < n; id++ {
+		g := m.cloud.At(id)
+		means[3*id], means[3*id+1], means[3*id+2] = g.Mean.X, g.Mean.Y, g.Mean.Z
+		colors[3*id], colors[3*id+1], colors[3*id+2] = g.Color.X, g.Color.Y, g.Color.Z
+		logits[id] = g.Logit
+		scales[id] = g.LogScale.X // isotropic
+		meanG[3*id], meanG[3*id+1], meanG[3*id+2] = grads.Mean[id].X, grads.Mean[id].Y, grads.Mean[id].Z
+		colorG[3*id], colorG[3*id+1], colorG[3*id+2] = grads.Color[id].X, grads.Color[id].Y, grads.Color[id].Z
+		logitG[id] = grads.Logit[id]
+		scaleG[id] = grads.LogScale[id]
+	}
+	m.opt.Step("mean", means, meanG)
+	m.opt.Step("color", colors, colorG)
+	m.opt.Step("logit", logits, logitG)
+	m.opt.Step("scale", scales, scaleG)
+	for id := 0; id < n; id++ {
+		g := m.cloud.At(id)
+		g.Mean = vecmath.Vec3{X: means[3*id], Y: means[3*id+1], Z: means[3*id+2]}
+		g.Color = vecmath.Vec3{X: colors[3*id], Y: colors[3*id+1], Z: colors[3*id+2]}.Clamp(0, 1)
+		g.Logit = logits[id]
+		g.LogScale = vecmath.Vec3{X: scales[id], Y: scales[id], Z: scales[id]}
+	}
+}
+
+func absf(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

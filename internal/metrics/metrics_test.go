@@ -1,0 +1,183 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"ags/internal/frame"
+	"ags/internal/vecmath"
+)
+
+func TestPSNRIdenticalInfinite(t *testing.T) {
+	a := frame.NewImage(8, 8)
+	p, err := PSNR(a, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(p, 1) {
+		t.Errorf("identical PSNR = %v", p)
+	}
+}
+
+func TestPSNRKnownValue(t *testing.T) {
+	a := frame.NewImage(4, 4)
+	b := frame.NewImage(4, 4)
+	for i := range b.Pix {
+		b.Pix[i] = vecmath.Vec3{X: 0.1, Y: 0.1, Z: 0.1}
+	}
+	// MSE = 0.01 -> PSNR = 20 dB.
+	p, err := PSNR(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p-20) > 1e-9 {
+		t.Errorf("PSNR = %v, want 20", p)
+	}
+}
+
+func TestPSNRSizeMismatch(t *testing.T) {
+	if _, err := PSNR(frame.NewImage(4, 4), frame.NewImage(5, 4)); err == nil {
+		t.Error("size mismatch accepted")
+	}
+}
+
+func TestPSNRMonotone(t *testing.T) {
+	a := frame.NewImage(8, 8)
+	small := frame.NewImage(8, 8)
+	big := frame.NewImage(8, 8)
+	for i := range a.Pix {
+		small.Pix[i] = vecmath.Vec3{X: 0.05}
+		big.Pix[i] = vecmath.Vec3{X: 0.3}
+	}
+	ps, _ := PSNR(a, small)
+	pb, _ := PSNR(a, big)
+	if ps <= pb {
+		t.Errorf("PSNR not monotone: small-err %v <= big-err %v", ps, pb)
+	}
+}
+
+func TestAlignRigidRecoversTransform(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	truth := vecmath.Pose{
+		R: vecmath.QuatFromAxisAngle(vecmath.Vec3{X: 0.3, Y: 1, Z: -0.2}, 0.7),
+		T: vecmath.Vec3{X: 1.5, Y: -0.5, Z: 2},
+	}
+	var src, dst []vecmath.Vec3
+	for i := 0; i < 30; i++ {
+		p := vecmath.Vec3{X: rng.NormFloat64(), Y: rng.NormFloat64(), Z: rng.NormFloat64()}
+		src = append(src, p)
+		dst = append(dst, truth.Apply(p))
+	}
+	got, err := AlignRigid(src, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range src {
+		if got.Apply(src[i]).Sub(dst[i]).Norm() > 1e-6 {
+			t.Fatalf("alignment residual too large at %d", i)
+		}
+	}
+}
+
+func TestAlignRigidDegenerate(t *testing.T) {
+	if _, err := AlignRigid(nil, nil); err == nil {
+		t.Error("empty input accepted")
+	}
+	if _, err := AlignRigid(make([]vecmath.Vec3, 2), make([]vecmath.Vec3, 3)); err == nil {
+		t.Error("length mismatch accepted")
+	}
+}
+
+func TestATERMSEPerfectTrajectory(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	var traj []vecmath.Pose
+	for i := 0; i < 10; i++ {
+		traj = append(traj, vecmath.Pose{
+			R: vecmath.QuatFromAxisAngle(vecmath.Vec3{Y: 1}, rng.Float64()),
+			T: vecmath.Vec3{X: rng.NormFloat64(), Y: rng.NormFloat64(), Z: rng.NormFloat64()},
+		})
+	}
+	ate, err := ATERMSE(traj, traj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ate > 1e-9 {
+		t.Errorf("perfect trajectory ATE = %v", ate)
+	}
+}
+
+func TestATERMSEInvariantToRigidOffset(t *testing.T) {
+	// ATE aligns before measuring: a globally transformed estimate of a
+	// perfect trajectory must still score ~0.
+	rng := rand.New(rand.NewSource(3))
+	var gt, est []vecmath.Pose
+	offset := vecmath.Pose{
+		R: vecmath.QuatFromAxisAngle(vecmath.Vec3{X: 1, Y: 0.5}, 0.4),
+		T: vecmath.Vec3{X: 3, Y: 1, Z: -2},
+	}
+	for i := 0; i < 12; i++ {
+		p := vecmath.Pose{
+			R: vecmath.QuatFromAxisAngle(vecmath.Vec3{Y: 1}, rng.Float64()*2),
+			T: vecmath.Vec3{X: rng.NormFloat64(), Y: rng.NormFloat64(), Z: rng.NormFloat64()},
+		}
+		gt = append(gt, p)
+		est = append(est, p.Compose(offset))
+	}
+	ate, err := ATERMSE(est, gt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ate > 1e-6 {
+		t.Errorf("rigidly offset trajectory ATE = %v", ate)
+	}
+}
+
+func TestATERMSEKnownError(t *testing.T) {
+	// Trajectory with symmetric +/- d perturbations around a straight line;
+	// alignment cannot remove them, RMSE ~ d.
+	var gt, est []vecmath.Pose
+	d := 0.05
+	for i := 0; i < 20; i++ {
+		p := vecmath.Pose{R: vecmath.QuatIdentity(), T: vecmath.Vec3{X: float64(i) * 0.1}}
+		gt = append(gt, p)
+		e := p
+		if i%2 == 0 {
+			e.T.Y += d
+		} else {
+			e.T.Y -= d
+		}
+		est = append(est, e)
+	}
+	ate, err := ATERMSE(est, gt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(ate-d) > 0.01 {
+		t.Errorf("ATE = %v, want about %v", ate, d)
+	}
+}
+
+func TestFalsePositiveRate(t *testing.T) {
+	truth := map[int]bool{1: true, 2: true, 3: true}
+	pred := map[int]bool{1: true, 2: true, 9: true, 10: true}
+	// 2 of 4 predictions are wrong.
+	if got := FalsePositiveRate(pred, truth); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("FP rate = %v", got)
+	}
+	if got := FalsePositiveRate(nil, truth); got != 0 {
+		t.Errorf("empty predictions FP = %v", got)
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if got := GeoMean([]float64{2, 8}); math.Abs(got-4) > 1e-12 {
+		t.Errorf("GeoMean = %v", got)
+	}
+	if got := GeoMean([]float64{5, 0, -3}); math.Abs(got-5) > 1e-12 {
+		t.Errorf("GeoMean with non-positive entries = %v", got)
+	}
+	if got := GeoMean(nil); got != 0 {
+		t.Errorf("GeoMean(nil) = %v", got)
+	}
+}

@@ -1,0 +1,136 @@
+// Package optim implements the first-order optimizers used for 3DGS training:
+// Adam (the default for both pose tracking and Gaussian mapping, matching
+// SplaTAM) and plain SGD. Optimizers operate over flat float64 parameter
+// slices so callers can expose any view of their state.
+package optim
+
+import "math"
+
+// Optimizer updates a parameter vector in place given its gradient.
+type Optimizer interface {
+	// Step applies one update. params and grads must have the same length,
+	// which must not change across calls.
+	Step(params, grads []float64)
+	// Reset clears accumulated state (moments, step counter).
+	Reset()
+}
+
+// SGD is stochastic gradient descent with optional momentum.
+type SGD struct {
+	LR       float64
+	Momentum float64
+	velocity []float64
+}
+
+// NewSGD returns an SGD optimizer with the given learning rate and momentum.
+func NewSGD(lr, momentum float64) *SGD { return &SGD{LR: lr, Momentum: momentum} }
+
+// Step applies one SGD update.
+func (s *SGD) Step(params, grads []float64) {
+	if len(s.velocity) != len(params) {
+		s.velocity = make([]float64, len(params))
+	}
+	for i := range params {
+		s.velocity[i] = s.Momentum*s.velocity[i] - s.LR*grads[i]
+		params[i] += s.velocity[i]
+	}
+}
+
+// Reset clears the velocity buffer.
+func (s *SGD) Reset() { s.velocity = nil }
+
+// Adam is the Adam optimizer (Kingma & Ba) with bias correction.
+type Adam struct {
+	LR      float64
+	Beta1   float64
+	Beta2   float64
+	Eps     float64
+	m, v    []float64
+	stepNum int
+}
+
+// NewAdam returns an Adam optimizer with standard betas (0.9, 0.999).
+func NewAdam(lr float64) *Adam {
+	return &Adam{LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8}
+}
+
+// Step applies one Adam update.
+func (a *Adam) Step(params, grads []float64) {
+	if len(a.m) != len(params) {
+		a.m = make([]float64, len(params))
+		a.v = make([]float64, len(params))
+		a.stepNum = 0
+	}
+	a.stepNum++
+	b1t := 1 - math.Pow(a.Beta1, float64(a.stepNum))
+	b2t := 1 - math.Pow(a.Beta2, float64(a.stepNum))
+	for i := range params {
+		g := grads[i]
+		a.m[i] = a.Beta1*a.m[i] + (1-a.Beta1)*g
+		a.v[i] = a.Beta2*a.v[i] + (1-a.Beta2)*g*g
+		mHat := a.m[i] / b1t
+		vHat := a.v[i] / b2t
+		params[i] -= a.LR * mHat / (math.Sqrt(vHat) + a.Eps)
+	}
+}
+
+// Reset clears moments and the step counter.
+func (a *Adam) Reset() {
+	a.m, a.v = nil, nil
+	a.stepNum = 0
+}
+
+// GroupAdam runs independent Adam state per named parameter group with its
+// own learning rate; 3DGS training uses different rates for means, colors,
+// opacities, scales and rotations.
+type GroupAdam struct {
+	groups map[string]*Adam
+	rates  map[string]float64
+}
+
+// NewGroupAdam returns a GroupAdam with the given per-group learning rates.
+func NewGroupAdam(rates map[string]float64) *GroupAdam {
+	g := &GroupAdam{groups: make(map[string]*Adam), rates: make(map[string]float64, len(rates))}
+	for k, v := range rates {
+		g.rates[k] = v
+	}
+	return g
+}
+
+// Step updates one group. Unknown group names fall back to learning rate 1e-3.
+func (g *GroupAdam) Step(group string, params, grads []float64) {
+	opt, ok := g.groups[group]
+	if !ok {
+		lr, has := g.rates[group]
+		if !has {
+			lr = 1e-3
+		}
+		opt = NewAdam(lr)
+		g.groups[group] = opt
+	}
+	opt.Step(params, grads)
+}
+
+// Reset clears every group's state.
+func (g *GroupAdam) Reset() {
+	for _, opt := range g.groups {
+		opt.Reset()
+	}
+}
+
+// ClipGradNorm scales grads in place so the global L2 norm is at most max.
+// It returns the pre-clip norm.
+func ClipGradNorm(grads []float64, max float64) float64 {
+	var sq float64
+	for _, g := range grads {
+		sq += g * g
+	}
+	norm := math.Sqrt(sq)
+	if norm > max && norm > 0 {
+		s := max / norm
+		for i := range grads {
+			grads[i] *= s
+		}
+	}
+	return norm
+}

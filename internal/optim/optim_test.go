@@ -1,0 +1,127 @@
+package optim
+
+import (
+	"math"
+	"testing"
+)
+
+// quadratic is f(x) = sum (x_i - c_i)^2 with gradient 2*(x-c).
+func quadGrad(x, c []float64) []float64 {
+	g := make([]float64, len(x))
+	for i := range x {
+		g[i] = 2 * (x[i] - c[i])
+	}
+	return g
+}
+
+func TestSGDConvergesOnQuadratic(t *testing.T) {
+	x := []float64{5, -3}
+	c := []float64{1, 2}
+	opt := NewSGD(0.1, 0)
+	for i := 0; i < 200; i++ {
+		opt.Step(x, quadGrad(x, c))
+	}
+	for i := range x {
+		if math.Abs(x[i]-c[i]) > 1e-6 {
+			t.Fatalf("SGD did not converge: x=%v", x)
+		}
+	}
+}
+
+func TestSGDMomentumFasterThanPlain(t *testing.T) {
+	run := func(momentum float64) float64 {
+		x := []float64{10}
+		c := []float64{0}
+		opt := NewSGD(0.02, momentum)
+		for i := 0; i < 60; i++ {
+			opt.Step(x, quadGrad(x, c))
+		}
+		return math.Abs(x[0])
+	}
+	if run(0.9) >= run(0) {
+		t.Error("momentum did not speed up convergence on smooth quadratic")
+	}
+}
+
+func TestAdamConvergesOnQuadratic(t *testing.T) {
+	x := []float64{5, -3, 0.5}
+	c := []float64{1, 2, -1}
+	opt := NewAdam(0.1)
+	for i := 0; i < 1500; i++ {
+		opt.Step(x, quadGrad(x, c))
+	}
+	for i := range x {
+		if math.Abs(x[i]-c[i]) > 1e-3 {
+			t.Fatalf("Adam did not converge: x=%v", x)
+		}
+	}
+}
+
+func TestAdamFirstStepIsLRSized(t *testing.T) {
+	// With bias correction, the very first Adam step has magnitude ~LR
+	// regardless of gradient scale.
+	for _, scale := range []float64{1e-4, 1, 1e4} {
+		x := []float64{0}
+		opt := NewAdam(0.01)
+		opt.Step(x, []float64{scale})
+		if math.Abs(math.Abs(x[0])-0.01) > 1e-4 {
+			t.Errorf("first step with grad %v moved %v", scale, x[0])
+		}
+	}
+}
+
+func TestAdamReset(t *testing.T) {
+	x := []float64{0}
+	opt := NewAdam(0.01)
+	opt.Step(x, []float64{1})
+	opt.Reset()
+	y := []float64{0}
+	opt.Step(y, []float64{1})
+	if math.Abs(x[0]-y[0]) > 1e-12 {
+		t.Error("reset did not restore initial state")
+	}
+}
+
+func TestAdamHandlesParamSizeChange(t *testing.T) {
+	opt := NewAdam(0.01)
+	opt.Step([]float64{0, 0}, []float64{1, 1})
+	// Growing the parameter vector (densification adds Gaussians) must not
+	// panic; state is reinitialized.
+	opt.Step([]float64{0, 0, 0}, []float64{1, 1, 1})
+}
+
+func TestGroupAdamIndependentGroups(t *testing.T) {
+	g := NewGroupAdam(map[string]float64{"fast": 0.1, "slow": 0.001})
+	fast := []float64{0}
+	slow := []float64{0}
+	for i := 0; i < 10; i++ {
+		g.Step("fast", fast, []float64{1})
+		g.Step("slow", slow, []float64{1})
+	}
+	if math.Abs(fast[0]) <= math.Abs(slow[0]) {
+		t.Errorf("fast group (%v) should move more than slow group (%v)", fast[0], slow[0])
+	}
+	// Unknown group uses the fallback rate without panicking.
+	g.Step("unknown", []float64{0}, []float64{1})
+}
+
+func TestClipGradNorm(t *testing.T) {
+	g := []float64{3, 4}
+	norm := ClipGradNorm(g, 1)
+	if math.Abs(norm-5) > 1e-12 {
+		t.Errorf("pre-clip norm = %v", norm)
+	}
+	var after float64
+	for _, v := range g {
+		after += v * v
+	}
+	if math.Abs(math.Sqrt(after)-1) > 1e-12 {
+		t.Errorf("post-clip norm = %v", math.Sqrt(after))
+	}
+	// Below-threshold gradients are untouched.
+	h := []float64{0.1, 0.1}
+	ClipGradNorm(h, 10)
+	if h[0] != 0.1 {
+		t.Error("clip modified small gradient")
+	}
+}

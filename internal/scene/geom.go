@@ -1,0 +1,173 @@
+package scene
+
+import (
+	"math"
+
+	"ags/internal/vecmath"
+)
+
+// Hit records a ray/surface intersection.
+type Hit struct {
+	T      float64 // ray parameter (distance along unit direction)
+	Point  vecmath.Vec3
+	Normal vecmath.Vec3
+	Albedo vecmath.Vec3
+}
+
+// Object is anything a ray can hit.
+type Object interface {
+	// Intersect returns the nearest hit with t in (tMin, tMax).
+	Intersect(origin, dir vecmath.Vec3, tMin, tMax float64) (Hit, bool)
+}
+
+// Box is an axis-aligned box with a texture.
+type Box struct {
+	Min, Max vecmath.Vec3
+	Tex      Texture
+}
+
+// Intersect implements Object via the slab method.
+func (b *Box) Intersect(origin, dir vecmath.Vec3, tMin, tMax float64) (Hit, bool) {
+	t0, t1 := tMin, tMax
+	axisIn := -1
+	for axis := 0; axis < 3; axis++ {
+		var o, d, lo, hi float64
+		switch axis {
+		case 0:
+			o, d, lo, hi = origin.X, dir.X, b.Min.X, b.Max.X
+		case 1:
+			o, d, lo, hi = origin.Y, dir.Y, b.Min.Y, b.Max.Y
+		default:
+			o, d, lo, hi = origin.Z, dir.Z, b.Min.Z, b.Max.Z
+		}
+		if math.Abs(d) < 1e-12 {
+			if o < lo || o > hi {
+				return Hit{}, false
+			}
+			continue
+		}
+		inv := 1 / d
+		ta := (lo - o) * inv
+		tb := (hi - o) * inv
+		if ta > tb {
+			ta, tb = tb, ta
+		}
+		if ta > t0 {
+			t0 = ta
+			axisIn = axis
+		}
+		if tb < t1 {
+			t1 = tb
+		}
+		if t0 > t1 {
+			return Hit{}, false
+		}
+	}
+	t := t0
+	entering := true
+	if axisIn == -1 || t <= tMin {
+		// Ray starts inside the box: hit the exit face instead.
+		t = t1
+		entering = false
+		if t <= tMin || t >= tMax {
+			return Hit{}, false
+		}
+	}
+	p := origin.Add(dir.Scale(t))
+	n := b.normalAt(p, entering)
+	return Hit{T: t, Point: p, Normal: n, Albedo: b.Tex(p)}, true
+}
+
+func (b *Box) normalAt(p vecmath.Vec3, entering bool) vecmath.Vec3 {
+	// Pick the face whose plane is closest to p.
+	best := math.Inf(1)
+	var n vecmath.Vec3
+	check := func(d float64, cand vecmath.Vec3) {
+		if ad := math.Abs(d); ad < best {
+			best = ad
+			n = cand
+		}
+	}
+	check(p.X-b.Min.X, vecmath.Vec3{X: -1})
+	check(b.Max.X-p.X, vecmath.Vec3{X: 1})
+	check(p.Y-b.Min.Y, vecmath.Vec3{Y: -1})
+	check(b.Max.Y-p.Y, vecmath.Vec3{Y: 1})
+	check(p.Z-b.Min.Z, vecmath.Vec3{Z: -1})
+	check(b.Max.Z-p.Z, vecmath.Vec3{Z: 1})
+	if !entering {
+		n = n.Neg()
+	}
+	return n
+}
+
+// Sphere is a textured sphere.
+type Sphere struct {
+	Center vecmath.Vec3
+	Radius float64
+	Tex    Texture
+}
+
+// Intersect implements Object.
+func (s *Sphere) Intersect(origin, dir vecmath.Vec3, tMin, tMax float64) (Hit, bool) {
+	oc := origin.Sub(s.Center)
+	b := oc.Dot(dir)
+	c := oc.NormSq() - s.Radius*s.Radius
+	disc := b*b - c
+	if disc < 0 {
+		return Hit{}, false
+	}
+	sq := math.Sqrt(disc)
+	t := -b - sq
+	if t <= tMin {
+		t = -b + sq
+	}
+	if t <= tMin || t >= tMax {
+		return Hit{}, false
+	}
+	p := origin.Add(dir.Scale(t))
+	n := p.Sub(s.Center).Scale(1 / s.Radius)
+	return Hit{T: t, Point: p, Normal: n, Albedo: s.Tex(p)}, true
+}
+
+// RoomShell is an inward-facing axis-aligned box (floor, ceiling and walls)
+// that rays hit from the inside.
+type RoomShell struct {
+	Min, Max vecmath.Vec3
+	Tex      Texture
+}
+
+// Intersect implements Object: the nearest exit face of the enclosing box.
+func (r *RoomShell) Intersect(origin, dir vecmath.Vec3, tMin, tMax float64) (Hit, bool) {
+	t1 := tMax
+	for axis := 0; axis < 3; axis++ {
+		var o, d, lo, hi float64
+		switch axis {
+		case 0:
+			o, d, lo, hi = origin.X, dir.X, r.Min.X, r.Max.X
+		case 1:
+			o, d, lo, hi = origin.Y, dir.Y, r.Min.Y, r.Max.Y
+		default:
+			o, d, lo, hi = origin.Z, dir.Z, r.Min.Z, r.Max.Z
+		}
+		if math.Abs(d) < 1e-12 {
+			continue
+		}
+		inv := 1 / d
+		ta := (lo - o) * inv
+		tb := (hi - o) * inv
+		if ta > tb {
+			ta, tb = tb, ta
+		}
+		if tb < t1 {
+			t1 = tb
+		}
+	}
+	if t1 <= tMin || t1 >= tMax {
+		return Hit{}, false
+	}
+	p := origin.Add(dir.Scale(t1))
+	// Inward normal: the face plane nearest to p, pointing into the room.
+	box := Box{Min: r.Min, Max: r.Max}
+	n := box.normalAt(p, true).Neg()
+	return Hit{T: t1, Point: p, Normal: n, Albedo: r.Tex(p)}, true
+}

@@ -1,0 +1,193 @@
+package scene
+
+import (
+	"math"
+
+	"ags/internal/vecmath"
+)
+
+// v is shorthand for composite Vec3 literals in scene construction.
+func v(x, y, z float64) vecmath.Vec3 { return vecmath.Vec3{X: x, Y: y, Z: z} }
+
+// deskWorld is a 6x3x6 m room with a desk and tabletop objects — the
+// stand-in for TUM-RGBD's fr1 desk-style scenes.
+func deskWorld() *World {
+	wallTex := Mix(Checker(v(0.85, 0.82, 0.75), v(0.7, 0.68, 0.62), 0.8), Noise(v(1, 1, 1), 6, 0.3))
+	floorTex := Mix(Stripes(v(0.55, 0.4, 0.3), v(0.45, 0.32, 0.24), 0.4, 0), Noise(v(1, 1, 1), 9, 0.25))
+	deskTex := Mix(Noise(v(0.5, 0.33, 0.2), 14, 0.45), Stripes(v(1, 1, 1), v(0.85, 0.85, 0.85), 0.12, 2))
+	return &World{
+		Objects: []Object{
+			&RoomShell{Min: v(-3, 0, -3), Max: v(3, 3, 3), Tex: Mix(wallTex, floorTex)},
+			&Box{Min: v(-0.8, 0, -0.5), Max: v(0.8, 0.72, 0.5), Tex: deskTex},                                               // desk
+			&Box{Min: v(-0.6, 0.72, -0.3), Max: v(-0.3, 0.95, -0.05), Tex: Noise(v(0.2, 0.3, 0.8), 20, 0.4)},                // book stack
+			&Box{Min: v(0.25, 0.72, 0.05), Max: v(0.6, 1.0, 0.3), Tex: Checker(v(0.8, 0.2, 0.15), v(0.6, 0.12, 0.1), 0.07)}, // monitor-ish
+			&Sphere{Center: v(0, 0.84, -0.15), Radius: 0.12, Tex: Noise(v(0.9, 0.75, 0.2), 18, 0.5)},                        // mug/ball
+			&Sphere{Center: v(-0.15, 0.78, 0.25), Radius: 0.06, Tex: Solid(v(0.15, 0.7, 0.3))},
+			&Box{Min: v(1.6, 0, -2.6), Max: v(2.4, 1.4, -1.8), Tex: Noise(v(0.4, 0.42, 0.5), 10, 0.35)}, // cabinet
+		},
+		Background: v(0.05, 0.05, 0.08),
+		Lights:     defaultLights(),
+		Ambient:    0.5,
+	}
+}
+
+// roomWorld is a larger, sparsely furnished room for sweep trajectories.
+func roomWorld() *World {
+	return &World{
+		Objects: []Object{
+			&RoomShell{Min: v(-4, 0, -4), Max: v(4, 3, 4), Tex: Mix(Checker(v(0.8, 0.78, 0.7), v(0.62, 0.6, 0.55), 1.1), Noise(v(1, 1, 1), 5, 0.35))},
+			&Box{Min: v(-2.5, 0, -3.5), Max: v(-1.2, 0.8, -2.5), Tex: Noise(v(0.6, 0.3, 0.25), 12, 0.4)},                 // sofa
+			&Box{Min: v(1.5, 0, 1.8), Max: v(3.2, 0.5, 3.2), Tex: Stripes(v(0.3, 0.45, 0.6), v(0.2, 0.3, 0.45), 0.3, 0)}, // low table
+			&Sphere{Center: v(0, 1.1, 0), Radius: 0.35, Tex: Checker(v(0.85, 0.6, 0.2), v(0.6, 0.4, 0.1), 0.12)},         // sculpture
+			&Box{Min: v(-3.8, 0, 2.2), Max: v(-2.8, 2.1, 3.6), Tex: Noise(v(0.35, 0.5, 0.4), 8, 0.4)},                    // shelf
+		},
+		Background: v(0.04, 0.04, 0.06),
+		Lights:     defaultLights(),
+		Ambient:    0.5,
+	}
+}
+
+// houseWorld is a two-room scene with a partition wall and doorway,
+// exercising occlusion changes along walkthroughs.
+func houseWorld() *World {
+	wall := Mix(Noise(v(0.82, 0.8, 0.74), 7, 0.35), Checker(v(1, 1, 1), v(0.88, 0.88, 0.88), 0.9))
+	return &World{
+		Objects: []Object{
+			&RoomShell{Min: v(-5, 0, -4), Max: v(5, 3, 4), Tex: wall},
+			// Partition with a doorway gap between z=-0.4..0.6.
+			&Box{Min: v(-0.1, 0, -4), Max: v(0.1, 3, -0.4), Tex: Stripes(v(0.75, 0.7, 0.6), v(0.6, 0.56, 0.48), 0.35, 1)},
+			&Box{Min: v(-0.1, 0, 0.6), Max: v(0.1, 3, 4), Tex: Stripes(v(0.75, 0.7, 0.6), v(0.6, 0.56, 0.48), 0.35, 1)},
+			// Left room furniture.
+			&Box{Min: v(-4.2, 0, -1), Max: v(-2.8, 0.9, 0.4), Tex: Noise(v(0.55, 0.35, 0.22), 11, 0.4)},
+			&Sphere{Center: v(-2, 0.5, 2), Radius: 0.5, Tex: Checker(v(0.25, 0.55, 0.75), v(0.15, 0.4, 0.6), 0.15)},
+			// Right room furniture.
+			&Box{Min: v(2, 0, -2.5), Max: v(3.4, 1.2, -1.2), Tex: Noise(v(0.3, 0.45, 0.3), 13, 0.45)},
+			&Box{Min: v(1.5, 0, 1.5), Max: v(2.3, 0.75, 2.6), Tex: Checker(v(0.8, 0.5, 0.2), v(0.65, 0.38, 0.12), 0.1)},
+		},
+		Background: v(0.05, 0.05, 0.07),
+		Lights:     defaultLights(),
+		Ambient:    0.5,
+	}
+}
+
+// officeWorld is a tidy synthetic office (the Replica-style stand-in).
+func officeWorld() *World {
+	return &World{
+		Objects: []Object{
+			&RoomShell{Min: v(-3.5, 0, -3.5), Max: v(3.5, 2.8, 3.5), Tex: Mix(Noise(v(0.86, 0.86, 0.84), 4, 0.25), Stripes(v(1, 1, 1), v(0.92, 0.92, 0.92), 0.6, 0))},
+			&Box{Min: v(-2.6, 0, -1.2), Max: v(-1.2, 0.74, 1.2), Tex: Noise(v(0.45, 0.3, 0.2), 12, 0.35)}, // desk 1
+			&Box{Min: v(1.2, 0, -1.2), Max: v(2.6, 0.74, 1.2), Tex: Noise(v(0.45, 0.3, 0.2), 12, 0.35)},   // desk 2
+			&Box{Min: v(-1.9, 0.74, -0.4), Max: v(-1.5, 1.1, 0.4), Tex: Solid(v(0.12, 0.12, 0.15))},       // monitor 1
+			&Box{Min: v(1.5, 0.74, -0.4), Max: v(1.9, 1.1, 0.4), Tex: Solid(v(0.12, 0.12, 0.15))},         // monitor 2
+			&Sphere{Center: v(0, 0.35, 2.4), Radius: 0.35, Tex: Checker(v(0.7, 0.25, 0.2), v(0.5, 0.18, 0.15), 0.1)},
+			&Box{Min: v(-0.5, 0, -3.2), Max: v(0.5, 1.8, -2.7), Tex: Checker(v(0.3, 0.4, 0.55), v(0.22, 0.3, 0.42), 0.25)}, // bookcase
+		},
+		Background: v(0.06, 0.06, 0.08),
+		Lights:     defaultLights(),
+		Ambient:    0.55,
+	}
+}
+
+// scanWorld is a cluttered apartment-style scene (the ScanNet++ stand-in).
+func scanWorld() *World {
+	return &World{
+		Objects: []Object{
+			&RoomShell{Min: v(-4.5, 0, -3), Max: v(4.5, 2.7, 3), Tex: Mix(Checker(v(0.78, 0.74, 0.68), v(0.64, 0.6, 0.55), 0.7), Noise(v(1, 1, 1), 8, 0.4))},
+			&Box{Min: v(-4.2, 0, -2.8), Max: v(-2.6, 1.0, -1.4), Tex: Noise(v(0.5, 0.26, 0.2), 15, 0.5)},
+			&Box{Min: v(-1.5, 0, 1.2), Max: v(0.2, 0.45, 2.6), Tex: Stripes(v(0.35, 0.5, 0.35), v(0.25, 0.38, 0.25), 0.22, 0)},
+			&Sphere{Center: v(1.4, 0.4, -1.2), Radius: 0.4, Tex: Noise(v(0.75, 0.65, 0.3), 16, 0.45)},
+			&Box{Min: v(2.6, 0, 0.8), Max: v(4.1, 1.6, 2.4), Tex: Checker(v(0.4, 0.34, 0.5), v(0.3, 0.24, 0.4), 0.2)},
+			&Sphere{Center: v(-2.6, 1.6, 1.8), Radius: 0.25, Tex: Solid(v(0.85, 0.3, 0.35))},
+			&Box{Min: v(0.8, 0, -2.9), Max: v(2.0, 0.8, -2.1), Tex: Noise(v(0.3, 0.42, 0.55), 10, 0.4)},
+		},
+		Background: v(0.05, 0.05, 0.06),
+		Lights:     defaultLights(),
+		Ambient:    0.5,
+	}
+}
+
+// scripts maps each named sequence to its world and motion script. Motion
+// profiles mirror the character of the originals: Xyz is slow translation
+// with almost no rotation (high covisibility), Desk2 and Room rotate fast
+// (low covisibility), Replica-style sequences are smooth, ScanNet-style are
+// rotation-heavy walkthroughs.
+func scripts() map[string]func(seed int64) (*World, MotionScript) {
+	deskEye := orbit(v(0, 0.4, 0), 2.0, 0.9, -math.Pi/2, 1.3)
+	return map[string]func(seed int64) (*World, MotionScript){
+		"Desk": func(seed int64) (*World, MotionScript) {
+			return deskWorld(), MotionScript{
+				Eye:         deskEye,
+				Target:      fixed(v(0, 0.65, 0)),
+				JitterTrans: 0.004, JitterAngle: 0.003, Seed: seed,
+			}
+		},
+		"Desk2": func(seed int64) (*World, MotionScript) {
+			return deskWorld(), MotionScript{
+				Eye:         orbit(v(0, 0.4, 0), 1.9, 1.0, math.Pi/3, 2.6),
+				Target:      waypoints(v(0, 0.7, 0), v(-0.5, 0.6, -0.3), v(0.4, 0.8, 0.3), v(0, 0.6, 0)),
+				JitterTrans: 0.008, JitterAngle: 0.008, Seed: seed,
+			}
+		},
+		"Room": func(seed int64) (*World, MotionScript) {
+			return roomWorld(), MotionScript{
+				Eye:         waypoints(v(-2.5, 1.4, -2.5), v(-1, 1.3, 0), v(1.5, 1.5, 1), v(2.5, 1.3, -1.5)),
+				Target:      waypoints(v(0, 1, 0), v(2, 1, 2), v(-2, 1.2, 2), v(0, 0.8, 0)),
+				JitterTrans: 0.010, JitterAngle: 0.010, Seed: seed,
+			}
+		},
+		"Xyz": func(seed int64) (*World, MotionScript) {
+			return deskWorld(), MotionScript{
+				Eye: func(u float64) vecmath.Vec3 {
+					// Gentle axis-aligned oscillations, like TUM fr1/xyz.
+					return v(0.25*math.Sin(2*math.Pi*u), 0.95+0.1*math.Sin(4*math.Pi*u), -1.8+0.15*math.Cos(2*math.Pi*u))
+				},
+				Target:      fixed(v(0, 0.7, 0)),
+				JitterTrans: 0.002, JitterAngle: 0.0015, Seed: seed,
+			}
+		},
+		"House": func(seed int64) (*World, MotionScript) {
+			return houseWorld(), MotionScript{
+				Eye:         waypoints(v(-3.5, 1.4, -2), v(-1.5, 1.4, 0.1), v(0, 1.4, 0.1), v(2, 1.4, -0.5), v(3, 1.3, 1.5)),
+				Target:      waypoints(v(-1, 1, 1), v(0.5, 1, 0.1), v(2, 1, 0), v(4, 1, 1), v(4, 1, 3)),
+				JitterTrans: 0.007, JitterAngle: 0.006, Seed: seed,
+			}
+		},
+		"Room0": func(seed int64) (*World, MotionScript) {
+			return roomWorld(), MotionScript{
+				Eye:         orbit(v(0, 0.8, 0), 2.6, 0.8, 0, 1.1),
+				Target:      fixed(v(0, 0.9, 0)),
+				JitterTrans: 0.0015, JitterAngle: 0.001, Seed: seed,
+			}
+		},
+		"Office0": func(seed int64) (*World, MotionScript) {
+			return officeWorld(), MotionScript{
+				Eye:         orbit(v(0, 0.6, 0), 2.4, 1.0, math.Pi/4, 1.2),
+				Target:      fixed(v(0, 0.7, 0)),
+				JitterTrans: 0.0015, JitterAngle: 0.001, Seed: seed,
+			}
+		},
+		"S1": func(seed int64) (*World, MotionScript) {
+			return scanWorld(), MotionScript{
+				Eye:         waypoints(v(-3.5, 1.5, -1.5), v(-1, 1.5, 0.5), v(1.5, 1.4, 0.5), v(3.5, 1.5, -1)),
+				Target:      waypoints(v(0, 0.8, 0), v(1, 0.7, 2), v(3, 0.8, 2), v(4, 0.8, 2.5)),
+				JitterTrans: 0.008, JitterAngle: 0.009, Seed: seed,
+			}
+		},
+		"S2": func(seed int64) (*World, MotionScript) {
+			return scanWorld(), MotionScript{
+				Eye:         orbit(v(0, 0.7, 0), 2.8, 1.1, math.Pi, 2.2),
+				Target:      waypoints(v(0, 0.8, 0), v(-1.5, 0.6, 1), v(1, 0.9, -1), v(0, 0.7, 0)),
+				JitterTrans: 0.009, JitterAngle: 0.008, Seed: seed,
+			}
+		},
+	}
+}
+
+// Names lists the available sequences in the order the paper's figures use.
+func Names() []string {
+	return []string{"Desk", "Desk2", "Room", "Xyz", "House", "Room0", "Office0", "S1", "S2"}
+}
+
+// TUMNames lists the TUM-RGBD-style subset used by the motivational and
+// ablation experiments.
+func TUMNames() []string { return []string{"Desk", "Desk2", "Room", "Xyz", "House"} }

@@ -1,0 +1,246 @@
+package slam
+
+import (
+	"testing"
+
+	"ags/internal/scene"
+)
+
+// fastCfg shrinks iteration counts so pipeline tests stay quick.
+func fastCfg(w, h int) Config {
+	cfg := DefaultConfig(w, h)
+	cfg.TrackIters = 12
+	cfg.IterT = 4
+	cfg.Mapper.MapIters = 6
+	cfg.Mapper.DensifyStride = 2
+	cfg.Workers = 4
+	return cfg
+}
+
+func fastAGS(w, h int) Config {
+	cfg := fastCfg(w, h)
+	cfg.EnableMAT = true
+	cfg.EnableGCM = true
+	return cfg
+}
+
+const tw, th = 48, 36
+
+func testSeq(t *testing.T, name string, frames int) *scene.Sequence {
+	t.Helper()
+	return scene.MustGenerate(name, scene.Config{Width: tw, Height: th, Frames: frames, Seed: 1})
+}
+
+func TestBaselineRunTracksSequence(t *testing.T) {
+	seq := testSeq(t, "Xyz", 10)
+	cfg := fastCfg(tw, th)
+	cfg.TrackIters = 30
+	cfg.Mapper.DensifyStride = 1
+	cfg.Mapper.MapIters = 8
+	res, err := Run(cfg, seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Poses) != 10 || len(res.GT) != 10 {
+		t.Fatalf("poses %d gt %d", len(res.Poses), len(res.GT))
+	}
+	ate, err := res.ATERMSECm()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One pixel at this resolution is ~6.5 cm at 2 m depth; the baseline
+	// must stay within about 1.5 px of trajectory error.
+	if ate > 10 {
+		t.Errorf("baseline ATE = %.2f cm", ate)
+	}
+	if err := res.Cloud.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Baseline: every frame is a key frame, none coarse-only.
+	for i, inf := range res.Info {
+		if !inf.IsKeyFrame {
+			t.Errorf("baseline frame %d not a key frame", i)
+		}
+		if inf.CoarseOnly {
+			t.Errorf("baseline frame %d coarse-only", i)
+		}
+	}
+}
+
+func TestAGSRunSkipsWorkOnHighCovisibility(t *testing.T) {
+	seq := testSeq(t, "Xyz", 10)
+	cfg := fastAGS(tw, th)
+	cfg.Mapper.DensifyStride = 1
+	cfg.Mapper.MapIters = 8
+	// The short 10-frame test sequence moves faster per frame than the
+	// experiment-scale datasets; open the gate correspondingly.
+	cfg.ThreshT = 0.82
+	res, err := Run(cfg, seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tot := res.Trace.Totals()
+	// On the high-covisibility Xyz sequence AGS must skip refinement on
+	// most frames and designate few key frames.
+	if tot.CoarseOnly == 0 {
+		t.Error("AGS never used coarse-only tracking on Xyz")
+	}
+	if tot.KeyFrames >= len(seq.Frames) {
+		t.Error("AGS made every frame a key frame on Xyz")
+	}
+	// And still track acceptably (the coarse aligner is sub-pixel).
+	ate, err := res.ATERMSECm()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ate > 7 {
+		t.Errorf("AGS ATE = %.2f cm", ate)
+	}
+}
+
+func TestAGSDoesLessTrackingWorkThanBaseline(t *testing.T) {
+	seq := testSeq(t, "Xyz", 6)
+	base, err := Run(fastCfg(tw, th), seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ags, err := Run(fastAGS(tw, th), seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bt := base.Trace.Totals()
+	at := ags.Trace.Totals()
+	if at.TrackIters >= bt.TrackIters {
+		t.Errorf("AGS tracking iterations %d >= baseline %d", at.TrackIters, bt.TrackIters)
+	}
+	if at.BlendOps+at.AlphaOps >= bt.BlendOps+bt.AlphaOps {
+		t.Errorf("AGS splat ops %d >= baseline %d", at.BlendOps+at.AlphaOps, bt.BlendOps+bt.AlphaOps)
+	}
+}
+
+func TestForceCoarseOnlyNeverRefines(t *testing.T) {
+	seq := testSeq(t, "Desk", 5)
+	cfg := fastCfg(tw, th)
+	cfg.ForceCoarseOnly = true
+	res, err := Run(cfg, seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, inf := range res.Info[1:] {
+		if !inf.CoarseOnly {
+			t.Errorf("frame %d refined despite ForceCoarseOnly", i+1)
+		}
+		if inf.RefineIters != 0 {
+			t.Errorf("frame %d has refine iters", i+1)
+		}
+	}
+	if res.Trace.Totals().TrackIters != 0 {
+		t.Error("trace records tracking iterations")
+	}
+}
+
+func TestTraceRecordsCodecAndCoarseWork(t *testing.T) {
+	seq := testSeq(t, "Desk", 4)
+	res, err := Run(fastAGS(tw, th), seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tot := res.Trace.Totals()
+	if tot.SADOps == 0 {
+		t.Error("no CODEC work recorded")
+	}
+	if tot.CoarseMACs == 0 {
+		t.Error("no coarse-tracking MACs recorded")
+	}
+	// Key frames carry logging-table access streams.
+	foundLog := false
+	for _, f := range res.Trace.Frames {
+		if f.IsKeyFrame && f.LoggingIDs != nil {
+			foundLog = true
+		}
+		if !f.IsKeyFrame && f.LoggingIDs != nil {
+			t.Error("non-key frame has logging IDs")
+		}
+	}
+	if !foundLog {
+		t.Error("no key frame logging streams in trace")
+	}
+}
+
+func TestFrameSizeMismatchRejected(t *testing.T) {
+	seq := testSeq(t, "Desk", 1)
+	other := scene.MustGenerate("Desk", scene.Config{Width: 32, Height: 24, Frames: 1, Seed: 1})
+	sys := New(fastCfg(tw, th), seq.Intr)
+	if err := sys.ProcessFrame(other.Frames[0]); err == nil {
+		t.Error("mismatched frame size accepted")
+	}
+}
+
+func TestEvaluatePSNRReasonable(t *testing.T) {
+	seq := testSeq(t, "Desk", 4)
+	res, err := Run(fastCfg(tw, th), seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	psnr, err := EvaluatePSNR(res, seq, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Even the fast test config must reconstruct something recognizable.
+	if psnr < 15 {
+		t.Errorf("PSNR = %.2f dB", psnr)
+	}
+}
+
+func TestFPRateMeasurement(t *testing.T) {
+	seq := testSeq(t, "Xyz", 6)
+	cfg := fastAGS(tw, th)
+	cfg.EvalFPRate = true
+	res, err := Run(cfg, seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var seen bool
+	for _, inf := range res.Info {
+		if inf.FPValid {
+			seen = true
+			if inf.FPRate < 0 || inf.FPRate > 1 {
+				t.Errorf("FP rate %v out of range", inf.FPRate)
+			}
+		}
+	}
+	if !seen {
+		t.Skip("no non-key frames in this short run")
+	}
+}
+
+func TestGaussianSLAMBackboneDoesMoreMapping(t *testing.T) {
+	seq := testSeq(t, "Desk", 3)
+	base, err := Run(fastCfg(tw, th), seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := fastCfg(tw, th)
+	cfg.Backbone = BackboneGaussianSLAM
+	gs, err := Run(cfg, seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gs.Trace.Totals().MapIters <= base.Trace.Totals().MapIters {
+		t.Error("Gaussian-SLAM backbone did not increase mapping work")
+	}
+}
+
+func TestScaleThreshN(t *testing.T) {
+	// Thresh_N counts per-Gaussian wasted pixels, which are bounded by the
+	// tile footprint and independent of image resolution.
+	if got := scaleThreshN(450, 640, 480); got != 450 {
+		t.Errorf("full-res ThreshN = %d", got)
+	}
+	if got := scaleThreshN(450, 96, 72); got != 450 {
+		t.Errorf("small-res ThreshN = %d", got)
+	}
+	if got := scaleThreshN(0, 8, 8); got < 2 {
+		t.Errorf("floor ThreshN = %d", got)
+	}
+}

@@ -1,0 +1,302 @@
+package splat
+
+import (
+	"math"
+	"runtime"
+	"sync"
+
+	"ags/internal/camera"
+	"ags/internal/frame"
+	"ags/internal/gauss"
+	"ags/internal/vecmath"
+)
+
+// LossConfig selects the training objective (SplaTAM-style weighted L1 on
+// color and depth, optionally restricted to well-observed pixels).
+type LossConfig struct {
+	ColorWeight float64
+	DepthWeight float64
+	// UseSilhouetteMask restricts the loss to pixels whose rendered
+	// silhouette exceeds SilThreshold — SplaTAM's tracking mask, which keeps
+	// unmapped regions from dragging the pose.
+	UseSilhouetteMask bool
+	SilThreshold      float64
+	// NormalizeDepth divides the rendered depth by the silhouette before the
+	// depth loss. Raw alpha-weighted depth is biased low wherever the
+	// accumulated alpha is below 1, which systematically drags tracking
+	// backward; normalization removes the bias.
+	NormalizeDepth bool
+}
+
+// DefaultMappingLoss returns the loss used for map optimization.
+func DefaultMappingLoss() LossConfig {
+	return LossConfig{ColorWeight: 0.5, DepthWeight: 1.0, NormalizeDepth: true}
+}
+
+// DefaultTrackingLoss returns the silhouette-masked loss used for tracking.
+func DefaultTrackingLoss() LossConfig {
+	return LossConfig{ColorWeight: 0.5, DepthWeight: 1.0, UseSilhouetteMask: true, SilThreshold: 0.99, NormalizeDepth: true}
+}
+
+// Grads holds the backward-pass outputs. Gaussian-parameter slices are
+// indexed by stable Gaussian ID.
+type Grads struct {
+	Mean     []vecmath.Vec3
+	Color    []vecmath.Vec3
+	Logit    []float64
+	LogScale []float64 // isotropic: apply to all three LogScale axes
+	Pose     vecmath.Twist
+
+	Loss   float64 // total weighted L1 loss over masked pixels
+	Pixels int     // number of pixels contributing to the loss
+}
+
+// BackwardOptions selects which gradients the pass computes.
+type BackwardOptions struct {
+	GaussianGrads bool // color/opacity/mean/scale (mapping)
+	PoseGrads     bool // camera twist (tracking)
+	Workers       int
+}
+
+// contribution is one blending step recorded during the per-pixel forward
+// replay, consumed in reverse order for the suffix-sum alpha gradients.
+type contribution struct {
+	si    int32
+	alpha float64
+	g     float64
+	t     float64 // transmittance *before* this Gaussian
+}
+
+// Backward computes the loss and its gradients for the rendered result res
+// against the target frame (step 4 of Fig. 2). It replays each pixel's
+// blending sequence front-to-back, then walks it back-to-front to form the
+// suffix terms of d(pixel)/d(alpha_i).
+func Backward(cloud *gauss.Cloud, cam camera.Camera, res *Result, target *frame.Frame, loss LossConfig, opts BackwardOptions) *Grads {
+	w, h := cam.Intr.W, cam.Intr.H
+	grads := &Grads{}
+	if opts.GaussianGrads {
+		grads.Mean = make([]vecmath.Vec3, cloud.Len())
+		grads.Color = make([]vecmath.Vec3, cloud.Len())
+		grads.Logit = make([]float64, cloud.Len())
+		grads.LogScale = make([]float64, cloud.Len())
+	}
+
+	// Count masked pixels first so gradients are mean- rather than
+	// sum-normalized (stable learning rates across resolutions).
+	masked := 0
+	for pix := 0; pix < w*h; pix++ {
+		if !loss.UseSilhouetteMask || res.Silhouette[pix] > loss.SilThreshold {
+			masked++
+		}
+	}
+	grads.Pixels = masked
+	if masked == 0 {
+		return grads
+	}
+	norm := 1 / float64(masked)
+
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	nt := res.Tiles.NumTiles()
+	if workers > nt {
+		workers = nt
+	}
+	if workers < 1 {
+		workers = 1
+	}
+
+	type partial struct {
+		mean     []vecmath.Vec3
+		color    []vecmath.Vec3
+		logit    []float64
+		logScale []float64
+		pose     vecmath.Twist
+		loss     float64
+	}
+	parts := make([]partial, workers)
+	tileCh := make(chan int, nt)
+	for i := 0; i < nt; i++ {
+		tileCh <- i
+	}
+	close(tileCh)
+
+	var wg sync.WaitGroup
+	for wi := 0; wi < workers; wi++ {
+		wg.Add(1)
+		go func(wi int) {
+			defer wg.Done()
+			p := &parts[wi]
+			if opts.GaussianGrads {
+				p.mean = make([]vecmath.Vec3, cloud.Len())
+				p.color = make([]vecmath.Vec3, cloud.Len())
+				p.logit = make([]float64, cloud.Len())
+				p.logScale = make([]float64, cloud.Len())
+			}
+			scratch := make([]contribution, 0, 256)
+			for tileIdx := range tileCh {
+				backwardOneTile(cloud, cam, res, target, loss, opts, tileIdx, norm, p.mean, p.color, p.logit, p.logScale, &p.pose, &p.loss, &scratch)
+			}
+		}(wi)
+	}
+	wg.Wait()
+
+	for i := range parts {
+		grads.Loss += parts[i].loss
+		grads.Pose = grads.Pose.Add(parts[i].pose)
+		if opts.GaussianGrads {
+			for id := range parts[i].mean {
+				grads.Mean[id] = grads.Mean[id].Add(parts[i].mean[id])
+				grads.Color[id] = grads.Color[id].Add(parts[i].color[id])
+				grads.Logit[id] += parts[i].logit[id]
+				grads.LogScale[id] += parts[i].logScale[id]
+			}
+		}
+	}
+	return grads
+}
+
+func backwardOneTile(cloud *gauss.Cloud, cam camera.Camera, res *Result, target *frame.Frame,
+	loss LossConfig, opts BackwardOptions, tileIdx int, norm float64,
+	gMean, gColor []vecmath.Vec3, gLogit, gLogScale []float64,
+	gPose *vecmath.Twist, lossAcc *float64, scratch *[]contribution) {
+
+	w, h := cam.Intr.W, cam.Intr.H
+	tiles := res.Tiles
+	splats := res.Splats
+	tx := tileIdx % tiles.TW
+	ty := tileIdx / tiles.TW
+	list := tiles.Lists[tileIdx]
+	x0, y0 := tx*TileSize, ty*TileSize
+	x1 := minInt(x0+TileSize, w)
+	y1 := minInt(y0+TileSize, h)
+	viewRT := cam.Pose.R.Mat3().Transpose()
+
+	for y := y0; y < y1; y++ {
+		for x := x0; x < x1; x++ {
+			pix := y*w + x
+			if loss.UseSilhouetteMask && res.Silhouette[pix] <= loss.SilThreshold {
+				continue
+			}
+			px := float64(x) + 0.5
+			py := float64(y) + 0.5
+
+			// Loss gradient at this pixel (L1).
+			cRend := res.Color.Pix[pix]
+			cGT := target.Color.Pix[pix]
+			dRend := res.Depth.D[pix]
+			sil := res.Silhouette[pix]
+			dGT := target.Depth.At(x, y)
+			diff := cRend.Sub(cGT)
+			*lossAcc += loss.ColorWeight * (math.Abs(diff.X) + math.Abs(diff.Y) + math.Abs(diff.Z)) * norm / 3
+			dLdC := vecmath.Vec3{X: sign(diff.X), Y: sign(diff.Y), Z: sign(diff.Z)}.Scale(loss.ColorWeight * norm / 3)
+			var dLdD, dLdS float64 // gradients w.r.t. raw depth D and silhouette S
+			if dGT > 0 {
+				if loss.NormalizeDepth {
+					if sil > 1e-6 {
+						dHat := dRend / sil
+						*lossAcc += loss.DepthWeight * math.Abs(dHat-dGT) * norm
+						dLdHat := sign(dHat-dGT) * loss.DepthWeight * norm
+						dLdD = dLdHat / sil
+						dLdS = -dLdHat * dRend / (sil * sil)
+					}
+				} else {
+					*lossAcc += loss.DepthWeight * math.Abs(dRend-dGT) * norm
+					dLdD = sign(dRend-dGT) * loss.DepthWeight * norm
+				}
+			}
+
+			// Forward replay, recording each blending step.
+			contribs := (*scratch)[:0]
+			t := 1.0
+			for _, si := range list {
+				s := &splats[si]
+				alpha, g := s.Alpha(px, py)
+				if alpha < MinAlpha {
+					continue
+				}
+				contribs = append(contribs, contribution{si: si, alpha: alpha, g: g, t: t})
+				t *= 1 - alpha
+				if t < TransmittanceEps {
+					break
+				}
+			}
+			*scratch = contribs
+
+			// Reverse walk with suffix accumulators:
+			// dC/dalpha_i = T_i*c_i - S_i/(1-alpha_i), S_i = sum_{j>i} T_j*alpha_j*c_j,
+			// and analogously for the depth and silhouette channels.
+			var sColor vecmath.Vec3
+			var sDepth, sSil float64
+			for k := len(contribs) - 1; k >= 0; k-- {
+				c := &contribs[k]
+				s := &splats[c.si]
+				wgt := c.t * c.alpha
+
+				// Color gradient: dC/dcolor_i = T_i*alpha_i.
+				if opts.GaussianGrads {
+					gColor[s.ID] = gColor[s.ID].Add(dLdC.Scale(wgt))
+				}
+
+				inv := 1 / (1 - c.alpha)
+				dCdA := s.Color.Scale(c.t).Sub(sColor.Scale(inv))
+				dDdA := c.t*s.Depth - sDepth*inv
+				dSdA := c.t - sSil*inv
+				dLdA := dLdC.Dot(dCdA) + dLdD*dDdA + dLdS*dSdA
+
+				sColor = sColor.Add(s.Color.Scale(wgt))
+				sDepth += wgt * s.Depth
+				sSil += wgt
+
+				// Through the alpha clamp: no gradient when saturated.
+				if c.alpha >= MaxAlpha {
+					continue
+				}
+
+				if opts.GaussianGrads {
+					// d(alpha)/d(logit) = g * sigmoid'(logit).
+					gLogit[s.ID] += dLdA * c.g * gauss.SigmoidGrad(s.Opacity)
+				}
+
+				// d(alpha)/d(mean2D) = alpha * CovInv * (pix - mean2D).
+				dx := px - s.Mean2D.X
+				dy := py - s.Mean2D.Y
+				sdx := s.CovInv.M00*dx + s.CovInv.M01*dy
+				sdy := s.CovInv.M10*dx + s.CovInv.M11*dy
+				dAdMu := vecmath.Vec2{X: c.alpha * sdx, Y: c.alpha * sdy}
+				gMu := dAdMu.Scale(dLdA)
+
+				// Into camera space through the projection Jacobian rows
+				// (d(mean2D)/d(camPt) = J), plus the depth-render dependence
+				// on the camera-space Z.
+				gpc := s.DU.Scale(gMu.X).Add(s.DV.Scale(gMu.Y))
+				gpc.Z += dLdD * wgt // dD/d(depth_i) = T_i*alpha_i
+
+				if opts.GaussianGrads {
+					gMean[s.ID] = gMean[s.ID].Add(viewRT.MulVec(gpc))
+					// Isotropic scale gradient through the 2D covariance:
+					// d(alpha)/d(log s) = alpha * s^2 * (CovInv d)^T JJT (CovInv d).
+					sc := cloud.At(s.ID).Scale()
+					s2 := (sc.X*sc.X + sc.Y*sc.Y + sc.Z*sc.Z) / 3
+					quad := sdx*(s.JJT.M00*sdx+s.JJT.M01*sdy) + sdy*(s.JJT.M10*sdx+s.JJT.M11*sdy)
+					gLogScale[s.ID] += dLdA * c.alpha * s2 * quad
+				}
+				if opts.PoseGrads {
+					gPose.V = gPose.V.Add(gpc)
+					gPose.W = gPose.W.Add(s.CamPt.Cross(gpc))
+				}
+			}
+		}
+	}
+}
+
+func sign(x float64) float64 {
+	switch {
+	case x > 0:
+		return 1
+	case x < 0:
+		return -1
+	}
+	return 0
+}

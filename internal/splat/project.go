@@ -1,0 +1,161 @@
+// Package splat implements the tile-based 3D Gaussian Splatting pipeline of
+// the paper's §2.1: preprocessing (EWA projection of 3D Gaussians to 2D
+// splats and tile intersection), per-tile depth sorting into Gaussian tables,
+// front-to-back alpha-blended rendering with early termination, and the
+// backward pass producing analytic gradients for Gaussian parameters and the
+// camera pose. The renderer also captures the per-Gaussian contribution
+// statistics (alpha values below Thresh_alpha) that drive AGS's
+// contribution-aware mapping, and the per-pixel/per-tile workload traces the
+// hardware simulator replays.
+package splat
+
+import (
+	"math"
+
+	"ags/internal/camera"
+	"ags/internal/gauss"
+	"ags/internal/vecmath"
+)
+
+const (
+	// TileSize is the pixel width/height of one rendering tile, matching the
+	// 4x4-GPE-array granularity of the AGS mapping engine (each array covers
+	// a 4x4 block; a 16x16 tile is 16 array passes).
+	TileSize = 16
+	// TransmittanceEps is the early-termination threshold on accumulated
+	// transmittance (paper §2.1: rendering stops when T < 1e-4).
+	TransmittanceEps = 1e-4
+	// MinAlpha is the smallest alpha that participates in blending; the
+	// standard 3DGS kernel discards fainter contributions (1/255).
+	MinAlpha = 1.0 / 255.0
+	// MaxAlpha clamps the occlusion factor, as in the reference 3DGS kernel.
+	MaxAlpha = 0.99
+	// covBlur is the screen-space dilation added to the 2D covariance
+	// diagonal (anti-aliasing floor, 0.3 px^2 in the reference kernel).
+	covBlur = 0.3
+)
+
+// Splat is a Gaussian projected to the image plane (a "2D Gaussian splat").
+type Splat struct {
+	ID      int          // stable Gaussian ID in the cloud
+	Mean2D  vecmath.Vec2 // pixel-space center
+	Depth   float64      // camera-space depth
+	Cov     vecmath.Mat2 // 2D covariance (with blur)
+	CovInv  vecmath.Mat2 // inverse 2D covariance
+	Color   vecmath.Vec3
+	Opacity float64
+	Radius  float64      // conservative pixel radius (3 sigma)
+	CamPt   vecmath.Vec3 // camera-space center (for pose gradients)
+	DU, DV  vecmath.Vec3 // projection Jacobian rows at CamPt
+	JJT     vecmath.Mat2 // J*J^T term (for isotropic scale gradients)
+}
+
+// ProjectGaussian projects one Gaussian through the camera. ok is false when
+// the Gaussian is behind the near plane or degenerate.
+func ProjectGaussian(g *gauss.Gaussian, cam camera.Camera) (Splat, bool) {
+	pc := cam.Pose.Apply(g.Mean)
+	if pc.Z < 0.05 {
+		return Splat{}, false
+	}
+	mean2, ok := cam.Intr.Project(pc)
+	if !ok {
+		return Splat{}, false
+	}
+	du, dv := cam.Intr.ProjectionJacobian(pc)
+	// Sigma2D = J W Sigma3D W^T J^T where W is the view rotation and J the
+	// 2x3 projection Jacobian.
+	w := cam.Pose.R.Mat3()
+	covCam := w.Mul(g.Cov3()).Mul(w.Transpose())
+	a := covCam.MulVec(du)
+	b := covCam.MulVec(dv)
+	cov := vecmath.Mat2{
+		M00: du.Dot(a) + covBlur,
+		M01: du.Dot(b),
+		M10: dv.Dot(a),
+		M11: dv.Dot(b) + covBlur,
+	}
+	// Numerical symmetry.
+	sym := 0.5 * (cov.M01 + cov.M10)
+	cov.M01, cov.M10 = sym, sym
+	inv, invertible := cov.Inverse()
+	if !invertible {
+		return Splat{}, false
+	}
+	l1, _ := cov.Eigenvalues()
+	radius := 3 * math.Sqrt(math.Max(l1, 0))
+	jjt := vecmath.Mat2{
+		M00: du.Dot(du), M01: du.Dot(dv),
+		M10: dv.Dot(du), M11: dv.Dot(dv),
+	}
+	return Splat{
+		ID:      -1,
+		Mean2D:  mean2,
+		Depth:   pc.Z,
+		Cov:     cov,
+		CovInv:  inv,
+		Color:   g.Color,
+		Opacity: g.Opacity(),
+		Radius:  radius,
+		CamPt:   pc,
+		DU:      du,
+		DV:      dv,
+		JJT:     jjt,
+	}, true
+}
+
+// Preprocess projects every active Gaussian in the cloud (step 1 of Fig. 2),
+// culling those that fall outside the image or behind the camera. skip, when
+// non-nil, suppresses Gaussians whose ID is flagged (selective mapping).
+func Preprocess(cloud *gauss.Cloud, cam camera.Camera, skip []bool) []Splat {
+	splats := make([]Splat, 0, cloud.Len())
+	for id := range cloud.Gaussians {
+		if !cloud.IsActive(id) {
+			continue
+		}
+		if skip != nil && id < len(skip) && skip[id] {
+			continue
+		}
+		s, ok := ProjectGaussian(cloud.At(id), cam)
+		if !ok {
+			continue
+		}
+		// Cull splats entirely outside the image (with radius margin).
+		if s.Mean2D.X+s.Radius < 0 || s.Mean2D.Y+s.Radius < 0 ||
+			s.Mean2D.X-s.Radius >= float64(cam.Intr.W) ||
+			s.Mean2D.Y-s.Radius >= float64(cam.Intr.H) {
+			continue
+		}
+		s.ID = id
+		splats = append(splats, s)
+	}
+	return splats
+}
+
+// Eval returns the unnormalized Gaussian falloff G = exp(-0.5 d^T CovInv d)
+// at pixel coordinates (x, y). Falloffs small enough that alpha must land
+// below MinAlpha for any opacity (q > 12.5 => G < MinAlpha/2) return 0
+// without evaluating the exponential; blending skips them either way, so
+// behavior is unchanged and the hot loop avoids most exp calls.
+func (s *Splat) Eval(x, y float64) float64 {
+	dx := x - s.Mean2D.X
+	dy := y - s.Mean2D.Y
+	q := dx*(s.CovInv.M00*dx+s.CovInv.M01*dy) + dy*(s.CovInv.M10*dx+s.CovInv.M11*dy)
+	if q < 0 {
+		return 1 // numerical guard: q is a Mahalanobis distance, >= 0
+	}
+	if q > 12.5 {
+		return 0
+	}
+	return math.Exp(-0.5 * q)
+}
+
+// Alpha returns the clamped occlusion factor at (x, y) together with the
+// falloff G (callers need G for gradients).
+func (s *Splat) Alpha(x, y float64) (alpha, g float64) {
+	g = s.Eval(x, y)
+	alpha = s.Opacity * g
+	if alpha > MaxAlpha {
+		alpha = MaxAlpha
+	}
+	return alpha, g
+}

@@ -1,0 +1,226 @@
+package splat
+
+import (
+	"runtime"
+	"sync"
+
+	"ags/internal/camera"
+	"ags/internal/frame"
+	"ags/internal/gauss"
+	"ags/internal/vecmath"
+)
+
+// Options controls a render pass.
+type Options struct {
+	// Skip suppresses Gaussians by ID during preprocessing (selective
+	// mapping for non-key frames).
+	Skip []bool
+	// LogContribution records, per Gaussian ID, how many evaluated pixels
+	// saw alpha below ThreshAlpha (full mapping on key frames).
+	LogContribution bool
+	// ThreshAlpha is the contribution threshold (paper: 1/255).
+	ThreshAlpha float64
+	// Workers bounds render parallelism; 0 means GOMAXPROCS.
+	Workers int
+}
+
+// Result is the output of a forward render.
+type Result struct {
+	Color      *frame.Image
+	Depth      *frame.DepthMap
+	Silhouette []float64 // accumulated alpha per pixel in [0,1]
+	FinalT     []float64 // final transmittance per pixel
+
+	Splats []Splat
+	Tiles  *Tiles
+
+	// Contribution log (nil unless Options.LogContribution):
+	NonContrib []int32 // per Gaussian ID: pixels with alpha < ThreshAlpha
+	Touched    []int32 // per Gaussian ID: pixels where alpha was evaluated
+
+	// Workload trace for the hardware simulator:
+	PerPixelBlend []int32 // stage-2 blending operations per pixel
+	PerPixelAlpha []int32 // stage-1 alpha evaluations per pixel
+	AlphaOps      int64   // total alpha (stage-1) evaluations
+	BlendOps      int64   // total color-blend (stage-2) operations
+}
+
+// Render runs the full forward pipeline (steps 1-3 of Fig. 2) for the cloud
+// viewed through cam.
+func Render(cloud *gauss.Cloud, cam camera.Camera, opts Options) *Result {
+	splats := Preprocess(cloud, cam, opts.Skip)
+	tiles := BuildTiles(splats, cam.Intr)
+	return renderTiles(cloud, cam, splats, tiles, opts)
+}
+
+func renderTiles(cloud *gauss.Cloud, cam camera.Camera, splats []Splat, tiles *Tiles, opts Options) *Result {
+	w, h := cam.Intr.W, cam.Intr.H
+	res := &Result{
+		Color:         frame.NewImage(w, h),
+		Depth:         frame.NewDepthMap(w, h),
+		Silhouette:    make([]float64, w*h),
+		FinalT:        make([]float64, w*h),
+		Splats:        splats,
+		Tiles:         tiles,
+		PerPixelBlend: make([]int32, w*h),
+		PerPixelAlpha: make([]int32, w*h),
+	}
+	if opts.LogContribution {
+		res.NonContrib = make([]int32, cloud.Len())
+		res.Touched = make([]int32, cloud.Len())
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > tiles.NumTiles() {
+		workers = tiles.NumTiles()
+	}
+	if workers < 1 {
+		workers = 1
+	}
+
+	type workerAcc struct {
+		nonContrib []int32
+		touched    []int32
+		alphaOps   int64
+		blendOps   int64
+	}
+	accs := make([]workerAcc, workers)
+	tileCh := make(chan int, tiles.NumTiles())
+	for i := 0; i < tiles.NumTiles(); i++ {
+		tileCh <- i
+	}
+	close(tileCh)
+
+	var wg sync.WaitGroup
+	for wi := 0; wi < workers; wi++ {
+		wg.Add(1)
+		go func(wi int) {
+			defer wg.Done()
+			acc := &accs[wi]
+			if opts.LogContribution {
+				acc.nonContrib = make([]int32, cloud.Len())
+				acc.touched = make([]int32, cloud.Len())
+			}
+			for tileIdx := range tileCh {
+				renderOneTile(res, splats, tiles, tileIdx, w, h, opts, acc.nonContrib, acc.touched, &acc.alphaOps, &acc.blendOps)
+			}
+		}(wi)
+	}
+	wg.Wait()
+
+	for i := range accs {
+		res.AlphaOps += accs[i].alphaOps
+		res.BlendOps += accs[i].blendOps
+		if opts.LogContribution {
+			for id, v := range accs[i].nonContrib {
+				res.NonContrib[id] += v
+			}
+			for id, v := range accs[i].touched {
+				res.Touched[id] += v
+			}
+		}
+	}
+	return res
+}
+
+func renderOneTile(res *Result, splats []Splat, tiles *Tiles, tileIdx, w, h int, opts Options,
+	nonContrib, touched []int32, alphaOps, blendOps *int64) {
+
+	tx := tileIdx % tiles.TW
+	ty := tileIdx / tiles.TW
+	list := tiles.Lists[tileIdx]
+	x0, y0 := tx*TileSize, ty*TileSize
+	x1 := minInt(x0+TileSize, w)
+	y1 := minInt(y0+TileSize, h)
+
+	for y := y0; y < y1; y++ {
+		for x := x0; x < x1; x++ {
+			px := float64(x) + 0.5
+			py := float64(y) + 0.5
+			t := 1.0
+			var color vecmath.Vec3
+			var depth, sil float64
+			pix := y*w + x
+			li := 0
+			for ; li < len(list); li++ {
+				s := &splats[list[li]]
+				(*alphaOps)++
+				res.PerPixelAlpha[pix]++
+				alpha, _ := s.Alpha(px, py)
+				if nonContrib != nil {
+					touched[s.ID]++
+					if alpha < opts.ThreshAlpha {
+						nonContrib[s.ID]++
+					}
+				}
+				if alpha < MinAlpha {
+					continue
+				}
+				(*blendOps)++
+				res.PerPixelBlend[pix]++
+				wgt := t * alpha
+				color = color.Add(s.Color.Scale(wgt))
+				depth += wgt * s.Depth
+				sil += wgt
+				t *= 1 - alpha
+				if t < TransmittanceEps {
+					li++
+					break
+				}
+			}
+			if nonContrib != nil {
+				// Table entries past the early-termination point were never
+				// blended, so they contributed nothing to this pixel. The
+				// hardware gets this information for free (the loop index at
+				// termination); it is where the bulk of Fig. 5's
+				// non-contributory Gaussians come from.
+				for ; li < len(list); li++ {
+					id := splats[list[li]].ID
+					touched[id]++
+					nonContrib[id]++
+				}
+			}
+			res.Color.Pix[pix] = color
+			res.Depth.D[pix] = depth
+			res.Silhouette[pix] = sil
+			res.FinalT[pix] = t
+		}
+	}
+}
+
+// TileIDLists converts the per-tile splat-index lists into stable
+// Gaussian-ID lists (the paper's "Gaussian tables", which the hardware
+// model's logging/skipping tables replay).
+func (r *Result) TileIDLists() [][]int32 {
+	out := make([][]int32, len(r.Tiles.Lists))
+	for i, l := range r.Tiles.Lists {
+		ids := make([]int32, len(l))
+		for j, si := range l {
+			ids[j] = int32(r.Splats[si].ID)
+		}
+		out[i] = ids
+	}
+	return out
+}
+
+// NormalizedDepth returns the rendered depth divided by the silhouette
+// (expected depth rather than alpha-weighted depth); pixels with silhouette
+// below 1e-6 stay zero (invalid).
+func (r *Result) NormalizedDepth() *frame.DepthMap {
+	out := frame.NewDepthMap(r.Depth.W, r.Depth.H)
+	for i, d := range r.Depth.D {
+		if s := r.Silhouette[i]; s > 1e-6 {
+			out.D[i] = d / s
+		}
+	}
+	return out
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,69 @@
+package splat
+
+import (
+	"sort"
+
+	"ags/internal/camera"
+)
+
+// Tiles holds the per-tile Gaussian tables (step 2 of Fig. 2): for every
+// image tile, the indices into the splat slice of the Gaussians intersecting
+// it, sorted front-to-back by depth. These tables are exactly what the AGS
+// mapping engine walks, so the hardware simulator consumes them unchanged.
+type Tiles struct {
+	TW, TH int       // tile grid size
+	Lists  [][]int32 // Lists[ty*TW+tx] = splat indices, depth ascending
+}
+
+// NumTiles returns the number of tiles in the grid.
+func (t *Tiles) NumTiles() int { return t.TW * t.TH }
+
+// List returns the Gaussian table of tile (tx, ty).
+func (t *Tiles) List(tx, ty int) []int32 { return t.Lists[ty*t.TW+tx] }
+
+// TotalEntries returns the summed length of all Gaussian tables — the
+// number of (Gaussian, tile) pairs the renderer will touch.
+func (t *Tiles) TotalEntries() int {
+	n := 0
+	for _, l := range t.Lists {
+		n += len(l)
+	}
+	return n
+}
+
+// BuildTiles performs the tile intersection test and depth sort. A splat is
+// assigned to every tile its 3-sigma bounding box overlaps (the reference
+// 3DGS conservative test).
+func BuildTiles(splats []Splat, intr camera.Intrinsics) *Tiles {
+	tw := (intr.W + TileSize - 1) / TileSize
+	th := (intr.H + TileSize - 1) / TileSize
+	t := &Tiles{TW: tw, TH: th, Lists: make([][]int32, tw*th)}
+	for i := range splats {
+		s := &splats[i]
+		x0 := clampInt(int((s.Mean2D.X-s.Radius)/TileSize), 0, tw-1)
+		x1 := clampInt(int((s.Mean2D.X+s.Radius)/TileSize), 0, tw-1)
+		y0 := clampInt(int((s.Mean2D.Y-s.Radius)/TileSize), 0, th-1)
+		y1 := clampInt(int((s.Mean2D.Y+s.Radius)/TileSize), 0, th-1)
+		for ty := y0; ty <= y1; ty++ {
+			for tx := x0; tx <= x1; tx++ {
+				idx := ty*tw + tx
+				t.Lists[idx] = append(t.Lists[idx], int32(i))
+			}
+		}
+	}
+	for idx := range t.Lists {
+		l := t.Lists[idx]
+		sort.Slice(l, func(a, b int) bool { return splats[l[a]].Depth < splats[l[b]].Depth })
+	}
+	return t
+}
+
+func clampInt(x, lo, hi int) int {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}

@@ -1,0 +1,100 @@
+package tracker
+
+import (
+	"ags/internal/camera"
+	"ags/internal/frame"
+	"ags/internal/gauss"
+	"ags/internal/hw/trace"
+	"ags/internal/optim"
+	"ags/internal/splat"
+	"ags/internal/vecmath"
+)
+
+// GSRefiner performs pose optimization by differentiable rendering: N
+// iterations of render → loss → pose gradient → Adam step, with the
+// Gaussians held fixed (paper §2.2, tracking). With N = N_T (e.g. 200 scaled)
+// this is the SplaTAM baseline tracker; with N = Iter_T (e.g. 20) it is
+// AGS's fine-grained pose refinement.
+type GSRefiner struct {
+	LR      float64
+	Loss    splat.LossConfig
+	Workers int
+}
+
+// NewGSRefiner returns a refiner with SplaTAM-style settings.
+func NewGSRefiner() *GSRefiner {
+	return &GSRefiner{LR: 2e-3, Loss: splat.DefaultTrackingLoss()}
+}
+
+// RefineBest evaluates the loss at each candidate initialization (one
+// forward render each) and refines from the best one. SplaTAM-style trackers
+// use a constant-velocity initialization that overshoots badly at motion
+// reversals; keeping the previous pose as a fallback candidate caps the
+// initial error at the true inter-frame motion.
+func (r *GSRefiner) RefineBest(cloud *gauss.Cloud, intr camera.Intrinsics, f *frame.Frame, inits []vecmath.Pose, iters int) (vecmath.Pose, trace.RenderStats) {
+	if len(inits) == 0 {
+		return vecmath.PoseIdentity(), trace.RenderStats{}
+	}
+	best := inits[0]
+	if len(inits) > 1 {
+		bestLoss := -1.0
+		for _, init := range inits {
+			cam := camera.Camera{Intr: intr, Pose: init}
+			res := splat.Render(cloud, cam, splat.Options{Workers: r.Workers})
+			grads := splat.Backward(cloud, cam, res, f, r.Loss, splat.BackwardOptions{Workers: r.Workers})
+			if bestLoss < 0 || grads.Loss < bestLoss {
+				bestLoss = grads.Loss
+				best = init
+			}
+		}
+	}
+	return r.Refine(cloud, intr, f, best, iters)
+}
+
+// Refine optimizes the camera pose for the frame, starting from init, for
+// the given number of iterations. It returns the refined pose and the
+// splatting workload stats (accumulated into a trace.RenderStats).
+func (r *GSRefiner) Refine(cloud *gauss.Cloud, intr camera.Intrinsics, f *frame.Frame, init vecmath.Pose, iters int) (vecmath.Pose, trace.RenderStats) {
+	var stats trace.RenderStats
+	pose := init
+	adam := optim.NewAdam(r.LR)
+	params := make([]float64, 6)
+	prev := make([]float64, 6)
+	best := init
+	bestLoss := -1.0
+	for i := 0; i < iters; i++ {
+		cam := camera.Camera{Intr: intr, Pose: pose}
+		res := splat.Render(cloud, cam, splat.Options{Workers: r.Workers})
+		grads := splat.Backward(cloud, cam, res, f, r.Loss, splat.BackwardOptions{PoseGrads: true, Workers: r.Workers})
+		stats.Accumulate(res.AlphaOps, res.BlendOps, 2*res.BlendOps,
+			int64(len(res.Splats)), int64(res.Tiles.TotalEntries()), int64(intr.W*intr.H))
+		if i == iters-1 {
+			stats.RepPerPixelBlend = res.PerPixelBlend
+			stats.RepPerPixelAlpha = res.PerPixelAlpha
+			stats.RepTileLists = res.TileIDLists()
+			stats.Width, stats.Height = intr.W, intr.H
+		}
+		if bestLoss < 0 || grads.Loss < bestLoss {
+			bestLoss = grads.Loss
+			best = pose
+		}
+		g := []float64{grads.Pose.V.X, grads.Pose.V.Y, grads.Pose.V.Z, grads.Pose.W.X, grads.Pose.W.Y, grads.Pose.W.Z}
+		copy(prev, params)
+		adam.Step(params, g)
+		step := vecmath.Twist{
+			V: vecmath.Vec3{X: params[0] - prev[0], Y: params[1] - prev[1], Z: params[2] - prev[2]},
+			W: vecmath.Vec3{X: params[3] - prev[3], Y: params[4] - prev[4], Z: params[5] - prev[5]},
+		}
+		pose = pose.Retract(step)
+	}
+	// Evaluate the final pose too, so the best-seen pose is returned.
+	if iters > 0 {
+		cam := camera.Camera{Intr: intr, Pose: pose}
+		res := splat.Render(cloud, cam, splat.Options{Workers: r.Workers})
+		grads := splat.Backward(cloud, cam, res, f, r.Loss, splat.BackwardOptions{Workers: r.Workers})
+		if grads.Loss < bestLoss {
+			best = pose
+		}
+	}
+	return best, stats
+}

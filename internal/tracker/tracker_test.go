@@ -1,0 +1,210 @@
+package tracker
+
+import (
+	"math"
+	"testing"
+
+	"ags/internal/camera"
+	"ags/internal/frame"
+	"ags/internal/gauss"
+	"ags/internal/scene"
+	"ags/internal/splat"
+	"ags/internal/vecmath"
+)
+
+func TestSolve6KnownSystem(t *testing.T) {
+	// Diagonal system.
+	var h [36]float64
+	var b [6]float64
+	for i := 0; i < 6; i++ {
+		h[i*6+i] = float64(i + 1)
+		b[i] = float64(i+1) * 2
+	}
+	x, ok := solve6(h, b)
+	if !ok {
+		t.Fatal("solve failed")
+	}
+	for i := 0; i < 6; i++ {
+		if math.Abs(x[i]-2) > 1e-12 {
+			t.Fatalf("x[%d] = %v", i, x[i])
+		}
+	}
+}
+
+func TestSolve6Singular(t *testing.T) {
+	var h [36]float64
+	var b [6]float64
+	if _, ok := solve6(h, b); ok {
+		t.Error("singular system solved")
+	}
+}
+
+func TestSolve6RandomRoundTrip(t *testing.T) {
+	// Build H = A^T A + I (SPD), pick x, compute b = Hx, solve.
+	var h [36]float64
+	seed := 1.0
+	for i := range h {
+		seed = math.Mod(seed*1.2345+0.678, 1)
+		h[i] = seed
+	}
+	// Symmetrize and strengthen the diagonal.
+	for i := 0; i < 6; i++ {
+		for j := i + 1; j < 6; j++ {
+			m := 0.5 * (h[i*6+j] + h[j*6+i])
+			h[i*6+j], h[j*6+i] = m, m
+		}
+		h[i*6+i] += 6
+	}
+	want := [6]float64{1, -2, 0.5, 3, -1, 0.25}
+	var b [6]float64
+	for i := 0; i < 6; i++ {
+		for j := 0; j < 6; j++ {
+			b[i] += h[i*6+j] * want[j]
+		}
+	}
+	x, ok := solve6(h, b)
+	if !ok {
+		t.Fatal("solve failed")
+	}
+	for i := 0; i < 6; i++ {
+		if math.Abs(x[i]-want[i]) > 1e-9 {
+			t.Fatalf("x = %v, want %v", x, want)
+		}
+	}
+}
+
+func TestCoarseAlignerIdentityOnSameFrame(t *testing.T) {
+	seq := scene.MustGenerate("Desk", scene.Config{Width: 64, Height: 48, Frames: 1, Seed: 1})
+	a := NewCoarseAligner()
+	rel := a.EstimateRelative(seq.Frames[0], seq.Frames[0], seq.Intr, vecmath.PoseIdentity())
+	if tw := vecmath.LogSE3(rel); tw.Norm() > 1e-4 {
+		t.Errorf("self-alignment drifted: %v", tw.Norm())
+	}
+}
+
+func TestCoarseAlignerRecoversInterFrameMotion(t *testing.T) {
+	seq := scene.MustGenerate("Desk", scene.Config{Width: 96, Height: 72, Frames: 12, Seed: 1})
+	a := NewCoarseAligner()
+	for i := 1; i < 3; i++ {
+		prev, cur := seq.Frames[i-1], seq.Frames[i]
+		// Ground-truth relative transform.
+		gtRel := cur.GTPose.Compose(prev.GTPose.Inverse())
+		rel := a.EstimateRelative(prev, cur, seq.Intr, vecmath.PoseIdentity())
+		errT := rel.T.Sub(gtRel.T).Norm()
+		errR := rel.R.AngleTo(gtRel.R)
+		// Without alignment the error would be the full inter-frame motion.
+		rawT := gtRel.T.Norm()
+		if errT > 0.35*rawT+0.002 {
+			t.Errorf("frame %d: translation error %v vs motion %v", i, errT, rawT)
+		}
+		if errR > 0.02 {
+			t.Errorf("frame %d: rotation error %v rad", i, errR)
+		}
+	}
+}
+
+func TestCoarseAlignerPoseComposition(t *testing.T) {
+	seq := scene.MustGenerate("Xyz", scene.Config{Width: 64, Height: 48, Frames: 2, Seed: 1})
+	a := NewCoarseAligner()
+	est := a.EstimatePose(seq.Frames[0], seq.Frames[1], seq.Intr, seq.Frames[0].GTPose, vecmath.PoseIdentity())
+	gt := seq.Frames[1].GTPose
+	if d := est.TranslationTo(gt); d > 0.01 {
+		t.Errorf("composed pose error %v m", d)
+	}
+}
+
+// buildCloudFromFrame back-projects a frame into an isotropic Gaussian per
+// n-th pixel — a miniature of the mapper's densification, giving the refiner
+// a usable scene.
+func buildCloudFromFrame(f *frame.Frame, intr camera.Intrinsics, stride int) *gauss.Cloud {
+	cloud := gauss.NewCloud(1024)
+	inv := f.GTPose.Inverse()
+	for y := 0; y < intr.H; y += stride {
+		for x := 0; x < intr.W; x += stride {
+			d := f.Depth.At(x, y)
+			if d <= 0 {
+				continue
+			}
+			pc := intr.Unproject(vecmath.Vec2{X: float64(x) + 0.5, Y: float64(y) + 0.5}, d)
+			g := gauss.Gaussian{
+				Mean:  inv.Apply(pc),
+				Rot:   vecmath.QuatIdentity(),
+				Color: f.Color.At(x, y),
+			}
+			s := 0.6 * d * float64(stride) / intr.Fx
+			g.SetScale(vecmath.Vec3{X: s, Y: s, Z: s})
+			// Near-opaque seeding: residual transmittance otherwise lets
+			// far surfaces bleed into the blended depth.
+			g.SetOpacity(0.999)
+			cloud.Add(g)
+		}
+	}
+	return cloud
+}
+
+func TestGSRefinerImprovesPerturbedPose(t *testing.T) {
+	seq := scene.MustGenerate("Desk", scene.Config{Width: 64, Height: 48, Frames: 1, Seed: 1})
+	f := seq.Frames[0]
+	cloud := buildCloudFromFrame(f, seq.Intr, 2)
+	// Model-consistent target: the observation is the cloud's own rendering
+	// from the ground-truth pose, so the GT pose is the true loss minimum.
+	// (In the pipeline, mapping trains the cloud to fit the sensor frames
+	// before tracking renders against it.)
+	gtCam := camera.Camera{Intr: seq.Intr, Pose: f.GTPose}
+	gtRes := splat.Render(cloud, gtCam, splat.Options{})
+	target := &frame.Frame{Index: f.Index, Color: gtRes.Color, Depth: gtRes.NormalizedDepth(), GTPose: f.GTPose}
+
+	perturbed := f.GTPose.Retract(vecmath.Twist{
+		V: vecmath.Vec3{X: 0.02, Y: -0.015, Z: 0.01},
+		W: vecmath.Vec3{Y: 0.015},
+	})
+	startErr := perturbed.TranslationTo(f.GTPose)
+	r := NewGSRefiner()
+	refined, stats := r.Refine(cloud, seq.Intr, target, perturbed, 40)
+	endErr := refined.TranslationTo(f.GTPose)
+	if endErr > startErr*0.6 {
+		t.Errorf("refinement: %v -> %v", startErr, endErr)
+	}
+	if stats.Iters != 40 {
+		t.Errorf("stats.Iters = %d", stats.Iters)
+	}
+	if stats.AlphaOps == 0 || stats.BlendOps == 0 || stats.BackwardOps == 0 {
+		t.Error("workload counters empty")
+	}
+	if stats.RepPerPixelBlend == nil || stats.RepTileLists == nil {
+		t.Error("representative workload missing")
+	}
+}
+
+func TestGSRefinerZeroItersIsIdentity(t *testing.T) {
+	seq := scene.MustGenerate("Desk", scene.Config{Width: 32, Height: 24, Frames: 1, Seed: 1})
+	f := seq.Frames[0]
+	cloud := buildCloudFromFrame(f, seq.Intr, 4)
+	r := NewGSRefiner()
+	pose, stats := r.Refine(cloud, seq.Intr, f, f.GTPose, 0)
+	if pose.TranslationTo(f.GTPose) != 0 {
+		t.Error("zero iterations changed the pose")
+	}
+	if stats.Iters != 0 {
+		t.Error("zero iterations recorded work")
+	}
+}
+
+func TestTileIDListsMapSplatsToGaussians(t *testing.T) {
+	seq := scene.MustGenerate("Desk", scene.Config{Width: 32, Height: 24, Frames: 1, Seed: 1})
+	f := seq.Frames[0]
+	cloud := buildCloudFromFrame(f, seq.Intr, 4)
+	cam := camera.Camera{Intr: seq.Intr, Pose: f.GTPose}
+	res := splat.Render(cloud, cam, splat.Options{})
+	lists := res.TileIDLists()
+	if len(lists) != res.Tiles.NumTiles() {
+		t.Fatalf("list count %d vs %d tiles", len(lists), res.Tiles.NumTiles())
+	}
+	for ti, l := range lists {
+		for _, id := range l {
+			if id < 0 || int(id) >= cloud.Len() {
+				t.Fatalf("tile %d has invalid gaussian id %d", ti, id)
+			}
+		}
+	}
+}

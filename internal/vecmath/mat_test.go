@@ -1,0 +1,159 @@
+package vecmath
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func mat3Near(a, b Mat3, tol float64) bool {
+	for i := range a {
+		if math.Abs(a[i]-b[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+func TestMat3MulIdentity(t *testing.T) {
+	m := Mat3{1, 2, 3, 4, 5, 6, 7, 8, 10}
+	if got := m.Mul(Identity3()); !mat3Near(got, m, eps) {
+		t.Errorf("m*I = %v", got)
+	}
+	if got := Identity3().Mul(m); !mat3Near(got, m, eps) {
+		t.Errorf("I*m = %v", got)
+	}
+}
+
+func TestMat3Inverse(t *testing.T) {
+	m := Mat3{2, 1, 0, 1, 3, 1, 0, 1, 2}
+	inv, ok := m.Inverse()
+	if !ok {
+		t.Fatal("matrix reported singular")
+	}
+	if got := m.Mul(inv); !mat3Near(got, Identity3(), 1e-12) {
+		t.Errorf("m*m^-1 = %v", got)
+	}
+	if _, ok := (Mat3{}).Inverse(); ok {
+		t.Error("zero matrix reported invertible")
+	}
+}
+
+func TestMat3DetTransposeInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 50; i++ {
+		var m Mat3
+		for j := range m {
+			m[j] = rng.NormFloat64()
+		}
+		if !near(m.Det(), m.Transpose().Det(), 1e-9) {
+			t.Fatalf("det(m) != det(m^T) for %v", m)
+		}
+	}
+}
+
+func TestMat3MulVec(t *testing.T) {
+	m := Mat3{1, 0, 0, 0, 2, 0, 0, 0, 3}
+	if got := m.MulVec(Vec3{1, 1, 1}); !vecNear(got, Vec3{1, 2, 3}, eps) {
+		t.Errorf("MulVec = %v", got)
+	}
+}
+
+func TestSkewMatchesCross(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 50; i++ {
+		v := Vec3{rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()}
+		u := Vec3{rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()}
+		if !vecNear(Skew(v).MulVec(u), v.Cross(u), 1e-12) {
+			t.Fatalf("skew(%v)*%v != cross", v, u)
+		}
+	}
+}
+
+func TestMat2Inverse(t *testing.T) {
+	m := Mat2{3, 1, 2, 4}
+	inv, ok := m.Inverse()
+	if !ok {
+		t.Fatal("singular")
+	}
+	p := m.Mul(inv)
+	if !near(p.M00, 1, eps) || !near(p.M11, 1, eps) || !near(p.M01, 0, eps) || !near(p.M10, 0, eps) {
+		t.Errorf("m*inv = %+v", p)
+	}
+}
+
+func TestMat2Eigenvalues(t *testing.T) {
+	// Symmetric matrix with known eigenvalues 5 and 1.
+	m := Mat2{3, 2, 2, 3}
+	l1, l2 := m.Eigenvalues()
+	if !near(l1, 5, eps) || !near(l2, 1, eps) {
+		t.Errorf("eigenvalues = %v, %v", l1, l2)
+	}
+}
+
+func TestJacobiEigen3Diagonal(t *testing.T) {
+	m := Diag3(Vec3{3, 1, 2})
+	vals, vecs := JacobiEigen3(m)
+	if !vecNear(vals, Vec3{3, 2, 1}, 1e-9) {
+		t.Errorf("eigenvalues = %v", vals)
+	}
+	// Eigenvector matrix must be orthogonal.
+	prod := vecs.Transpose().Mul(vecs)
+	if !mat3Near(prod, Identity3(), 1e-9) {
+		t.Errorf("V^T V = %v", prod)
+	}
+}
+
+func TestJacobiEigen3Reconstruction(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 40; i++ {
+		// Random symmetric PSD matrix A = B B^T.
+		var b Mat3
+		for j := range b {
+			b[j] = rng.NormFloat64()
+		}
+		a := b.Mul(b.Transpose())
+		vals, v := JacobiEigen3(a)
+		recon := v.Mul(Diag3(vals)).Mul(v.Transpose())
+		if !mat3Near(recon, a, 1e-8) {
+			t.Fatalf("reconstruction failed:\n a=%v\n recon=%v", a, recon)
+		}
+		if vals.X < vals.Y-1e-12 || vals.Y < vals.Z-1e-12 {
+			t.Fatalf("eigenvalues not descending: %v", vals)
+		}
+		if vals.Z < -1e-9 {
+			t.Fatalf("PSD matrix produced negative eigenvalue: %v", vals)
+		}
+	}
+}
+
+func TestMat4MulPoint(t *testing.T) {
+	m := Identity4()
+	m[3], m[7], m[11] = 1, 2, 3 // translation column
+	if got := m.MulPoint(Vec3{1, 1, 1}); !vecNear(got, Vec3{2, 3, 4}, eps) {
+		t.Errorf("MulPoint = %v", got)
+	}
+}
+
+func TestMat4MulAssociativity(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	var a, b, c Mat4
+	for i := 0; i < 16; i++ {
+		a[i], b[i], c[i] = rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()
+	}
+	left := a.Mul(b).Mul(c)
+	right := a.Mul(b.Mul(c))
+	for i := range left {
+		if !near(left[i], right[i], 1e-9) {
+			t.Fatalf("associativity violated at %d: %v vs %v", i, left[i], right[i])
+		}
+	}
+}
+
+func TestOuterProduct(t *testing.T) {
+	m := OuterProduct(Vec3{1, 2, 3}, Vec3{4, 5, 6})
+	want := Mat3{4, 5, 6, 8, 10, 12, 12, 15, 18}
+	if !mat3Near(m, want, eps) {
+		t.Errorf("outer = %v", m)
+	}
+}

@@ -1,0 +1,10 @@
+package vecmath
+
+import "reflect"
+
+// Helpers shared by the property-based tests: testing/quick generates values
+// via reflection, and we want bounded, realistic float magnitudes.
+
+type reflectValue = reflect.Value
+
+func valueOf(v interface{}) reflect.Value { return reflect.ValueOf(v) }
