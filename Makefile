@@ -1,0 +1,28 @@
+GO ?= go
+
+.PHONY: build test race vet fmt bench verify
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Race-check the packages that own goroutines (codec worker pool, slam ME
+# prefetch, splat render workers ride along via slam).
+race:
+	$(GO) test -race ./internal/codec ./internal/slam
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+bench:
+	$(GO) test -bench=. -benchtime=1x .
+
+# Tier-1 gate: formatting, static checks, and the full test suite under the
+# race detector so new concurrency is always race-checked.
+verify: fmt vet
+	$(GO) test -race ./...

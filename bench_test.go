@@ -5,6 +5,7 @@
 package ags_test
 
 import (
+	"runtime"
 	"sync"
 	"testing"
 
@@ -293,6 +294,44 @@ func BenchmarkFig22FCLevels(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := codec.MotionEstimate(fixSeq.Frames[0].Color, fixSeq.Frames[1].Color, cfg); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig9MEParallel times frame motion estimation with the row-parallel
+// worker pool and encoder early termination — the CODEC stage the pipelined
+// frontend overlaps with tracking/mapping (Fig. 9's timing model).
+func BenchmarkFig9MEParallel(b *testing.B) {
+	fixtures(b)
+	cfg := codec.DefaultConfig()
+	cfg.Workers = runtime.GOMAXPROCS(0)
+	cfg.EarlyTerm = true
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := codec.MotionEstimate(fixSeq.Frames[0].Color, fixSeq.Frames[1].Color, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig9PipelinedFrontend times two AGS frame steps with ME prefetch
+// running concurrently with tracking/mapping (vs BenchmarkTable1Categories'
+// serial frontend).
+func BenchmarkFig9PipelinedFrontend(b *testing.B) {
+	fixtures(b)
+	cfg := slam.AGSConfig(64, 48)
+	cfg.Mapper.DensifyStride = 2
+	cfg.Mapper.MapIters = 5
+	cfg.PipelineME = true
+	cfg.CodecWorkers = runtime.GOMAXPROCS(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sys := slam.New(cfg, fixSeq.Intr)
+		for f := 0; f < 2; f++ {
+			sys.Prefetch(fixSeq.Frames[f], fixSeq.Frames[f+1])
+			if err := sys.ProcessFrame(fixSeq.Frames[f]); err != nil {
+				b.Fatal(err)
+			}
 		}
 	}
 }

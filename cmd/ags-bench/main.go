@@ -28,6 +28,10 @@ func main() {
 		frames  = flag.Int("frames", 0, "override frames per sequence")
 		workers = flag.Int("workers", 0, "render worker goroutines (0 = all cores)")
 		quiet   = flag.Bool("q", false, "suppress progress lines")
+
+		codecWorkers = flag.Int("codec-workers", 0, "ME worker goroutines per frame (0 = serial)")
+		pipelineME   = flag.Bool("pipeline-me", false, "prefetch next frame's ME concurrently with tracking/mapping")
+		meEarlyTerm  = flag.Bool("me-early-term", false, "encoder early termination in ME SAD accumulation")
 	)
 	flag.Parse()
 
@@ -58,6 +62,9 @@ func main() {
 		cfg.Frames = *frames
 	}
 	cfg.Workers = *workers
+	cfg.CodecWorkers = *codecWorkers
+	cfg.PipelineME = *pipelineME
+	cfg.CodecEarlyTerm = *meEarlyTerm
 
 	suite := bench.NewSuite(cfg, os.Stdout)
 	suite.Verbose = !*quiet

@@ -28,6 +28,10 @@ func main() {
 		iters    = flag.Int("iters", 30, "baseline tracking iterations (N_T)")
 		listSeq  = flag.Bool("listseq", false, "list sequence names and exit")
 		traceOut = flag.String("trace", "", "write the run's operation trace as JSON to this file")
+
+		pipelineME   = flag.Bool("pipeline-me", false, "prefetch next frame's motion estimation concurrently with tracking/mapping")
+		codecWorkers = flag.Int("codec-workers", 0, "ME worker goroutines per frame (0 = serial)")
+		meEarlyTerm  = flag.Bool("me-early-term", false, "encoder early termination in ME SAD accumulation")
 	)
 	flag.Parse()
 
@@ -40,6 +44,9 @@ func main() {
 
 	cfg := slam.DefaultConfig(*width, *height)
 	cfg.TrackIters = *iters
+	cfg.PipelineME = *pipelineME
+	cfg.CodecWorkers = *codecWorkers
+	cfg.CodecEarlyTerm = *meEarlyTerm
 	switch *algo {
 	case "baseline":
 	case "ags":
@@ -65,7 +72,10 @@ func main() {
 	fmt.Printf("running %s pipeline...\n", *algo)
 	start := time.Now()
 	sys := slam.New(cfg, seq.Intr)
-	for _, f := range seq.Frames {
+	for i, f := range seq.Frames {
+		if cfg.PipelineME && i+1 < len(seq.Frames) {
+			sys.Prefetch(f, seq.Frames[i+1])
+		}
 		if err := sys.ProcessFrame(f); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)

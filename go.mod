@@ -1,0 +1,3 @@
+module ags
+
+go 1.24

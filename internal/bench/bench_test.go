@@ -37,8 +37,8 @@ func TestFindExperiment(t *testing.T) {
 	if _, err := Find("nope"); err == nil {
 		t.Error("unknown experiment accepted")
 	}
-	if len(Experiments()) != 23 {
-		t.Errorf("registry has %d experiments, want 23", len(Experiments()))
+	if len(Experiments()) != 24 {
+		t.Errorf("registry has %d experiments, want 24", len(Experiments()))
 	}
 }
 
@@ -83,6 +83,25 @@ func TestSpeedupExperimentEndToEnd(t *testing.T) {
 	for _, want := range []string{"AGS (this work)", "SplaTAM-style baseline", "ATE"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("table1 output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestPerfMEExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slam runs in short mode")
+	}
+	var buf bytes.Buffer
+	s := NewSuite(tinyCfg(), &buf)
+	// PerfME verifies parallel/serial equivalence internally and errors on
+	// divergence, so a clean return is the main assertion.
+	if err := s.PerfME(); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"CODEC ME wall-time", "Parallel", "Pipelined ME"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("perf-me output missing %q:\n%s", want, out)
 		}
 	}
 }

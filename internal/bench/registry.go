@@ -39,6 +39,7 @@ func Experiments() []Experiment {
 		{"abl-codec", "Extra: ME search ablation", (*Suite).AblCodec},
 		{"abl-tables", "Extra: logging-buffer capacity sweep", (*Suite).AblTables},
 		{"abl-overlap", "Extra: pipelining/scheduler split", (*Suite).AblOverlap},
+		{"perf-me", "Perf: serial vs parallel vs pipelined CODEC ME", (*Suite).PerfME},
 	}
 }
 

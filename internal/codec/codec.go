@@ -5,10 +5,22 @@
 // SADs — accumulated over the frame — as a frame-covisibility metric, so this
 // package exposes exactly that intermediate data, plus the motion vectors a
 // real encoder would use, and the operation counts the hardware model charges.
+//
+// Concurrency: a hardware ME block processes many macro-blocks in parallel;
+// Config.Workers models that by fanning macro-block rows across a goroutine
+// pool. Each block's search is self-contained, rows write disjoint result
+// ranges, and per-row operation counters are reduced in row order, so the
+// parallel path is byte-identical to the serial one (Workers <= 1).
+// Config.EarlyTerm adds the standard encoder early-termination trick: a
+// candidate's SAD accumulation aborts once the partial sum exceeds the
+// block's current best. Early termination never changes MinSAD or MV — only
+// candidates that could not win are cut short — it only lowers SADOps.
 package codec
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"ags/internal/frame"
 )
@@ -22,10 +34,18 @@ type Config struct {
 	// ThreeStep selects the logarithmic three-step search a real-time
 	// encoder uses instead of exhaustive full search.
 	ThreeStep bool
+	// Workers bounds the goroutine pool macro-block rows are fanned across.
+	// 0 or 1 keeps the serial path; results are identical either way.
+	Workers int
+	// EarlyTerm aborts a candidate's SAD accumulation once the partial sum
+	// exceeds the block's current best, as hardware encoders do. MinSAD and
+	// MV are unchanged; only SADOps drops.
+	EarlyTerm bool
 }
 
 // DefaultConfig matches the paper's description: 8x8 macro-blocks with a
-// hardware-typical +-8 pixel three-step search.
+// hardware-typical +-8 pixel three-step search, serial and without early
+// termination so operation counts stay at their analytic worst case.
 func DefaultConfig() Config {
 	return Config{BlockSize: 8, SearchRange: 8, ThreeStep: true}
 }
@@ -36,9 +56,12 @@ type MotionVector struct{ DX, DY int }
 // Result holds the ME outputs for one frame pair.
 type Result struct {
 	Cfg      Config
-	MBW, MBH int            // macro-block grid size
+	MBW, MBH int            // macro-block grid size (includes partial edge blocks)
 	MinSAD   []uint32       // per-MB minimum SAD (the AGS covisibility input)
 	MV       []MotionVector // per-MB best displacement
+	// Pixels is the total pixel count covered by the macro-block grid. Edge
+	// blocks are clamped to the frame, so this always equals W*H.
+	Pixels int64
 	// SADOps counts absolute-difference operations performed — the work the
 	// CODEC IP does anyway for compression, which AGS gets for free.
 	SADOps int64
@@ -55,14 +78,16 @@ func (r *Result) SumMinSAD() uint64 {
 }
 
 // MaxPossibleSAD returns the worst-case accumulated SAD (every pixel differs
-// by the full 8-bit range), used to normalize covisibility to [0,1].
+// by the full 8-bit range), used to normalize covisibility to [0,1]. Partial
+// edge blocks contribute only the pixels they actually cover.
 func (r *Result) MaxPossibleSAD() uint64 {
-	block := uint64(r.Cfg.BlockSize * r.Cfg.BlockSize)
-	return uint64(len(r.MinSAD)) * block * 255
+	return uint64(r.Pixels) * 255
 }
 
 // MotionEstimate runs ME of cur against prev (the reference frame).
-// Both images must have identical dimensions.
+// Both images must have identical dimensions. Frames whose size is not a
+// multiple of BlockSize get clamped partial blocks along the right/bottom
+// edges, so every pixel participates in the covisibility metric.
 func MotionEstimate(prev, cur *frame.Image, cfg Config) (*Result, error) {
 	if prev.W != cur.W || prev.H != cur.H {
 		return nil, fmt.Errorf("codec: frame size mismatch %dx%d vs %dx%d", prev.W, prev.H, cur.W, cur.H)
@@ -74,65 +99,157 @@ func MotionEstimate(prev, cur *frame.Image, cfg Config) (*Result, error) {
 	cl := cur.Luma8()
 	w, h := cur.W, cur.H
 	bs := cfg.BlockSize
-	mbw := w / bs
-	mbh := h / bs
-	if mbw == 0 || mbh == 0 {
+	if w < bs || h < bs {
 		return nil, fmt.Errorf("codec: image %dx%d smaller than block %d", w, h, bs)
 	}
+	mbw := (w + bs - 1) / bs
+	mbh := (h + bs - 1) / bs
 	res := &Result{
 		Cfg: cfg, MBW: mbw, MBH: mbh,
 		MinSAD: make([]uint32, mbw*mbh),
 		MV:     make([]MotionVector, mbw*mbh),
+		Pixels: int64(w) * int64(h),
 	}
-	for by := 0; by < mbh; by++ {
-		for bx := 0; bx < mbw; bx++ {
-			x0, y0 := bx*bs, by*bs
-			var best uint32
-			var bestMV MotionVector
-			if cfg.ThreeStep {
-				best, bestMV = threeStepSearch(cl, pl, w, h, x0, y0, bs, cfg.SearchRange, &res.SADOps)
-			} else {
-				best, bestMV = fullSearch(cl, pl, w, h, x0, y0, bs, cfg.SearchRange, &res.SADOps)
-			}
-			res.MinSAD[by*mbw+bx] = best
-			res.MV[by*mbw+bx] = bestMV
+
+	workers := cfg.Workers
+	if workers > mbh {
+		workers = mbh
+	}
+	if workers <= 1 {
+		st := newBlockSearch(cl, pl, w, h, cfg)
+		for by := 0; by < mbh; by++ {
+			res.SADOps += meRow(res, st, by)
 		}
+		return res, nil
+	}
+
+	// Rows are handed out by an atomic ticket; each row writes a disjoint
+	// slice of MinSAD/MV plus its own op count, reduced in row order below so
+	// the total matches the serial sum exactly.
+	rowOps := make([]int64, mbh)
+	var next int64
+	var wg sync.WaitGroup
+	for wk := 0; wk < workers; wk++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			st := newBlockSearch(cl, pl, w, h, cfg)
+			for {
+				by := int(atomic.AddInt64(&next, 1)) - 1
+				if by >= mbh {
+					return
+				}
+				rowOps[by] = meRow(res, st, by)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, o := range rowOps {
+		res.SADOps += o
 	}
 	return res, nil
 }
 
-// sad computes the SAD between the current block at (x0,y0) and the
-// reference block displaced by (dx,dy). Out-of-frame reference pixels are
-// clamped to the border (encoder padding behavior).
-func sad(cur, ref []uint8, w, h, x0, y0, bs, dx, dy int, ops *int64) uint32 {
+// meRow searches every macro-block of row by and returns the SAD ops charged.
+func meRow(res *Result, st *blockSearch, by int) int64 {
+	bs := res.Cfg.BlockSize
+	var ops int64
+	st.ops = &ops
+	for bx := 0; bx < res.MBW; bx++ {
+		st.x0, st.y0 = bx*bs, by*bs
+		st.bw = minInt(bs, st.w-st.x0)
+		st.bh = minInt(bs, st.h-st.y0)
+		var best uint32
+		var bestMV MotionVector
+		if res.Cfg.ThreeStep {
+			best, bestMV = st.threeStep()
+		} else {
+			best, bestMV = st.fullSearch()
+		}
+		res.MinSAD[by*res.MBW+bx] = best
+		res.MV[by*res.MBW+bx] = bestMV
+	}
+	return ops
+}
+
+// blockSearch carries the per-goroutine search state: the frame pair, the
+// current block geometry, and the probe-dedup scratch reused across blocks.
+type blockSearch struct {
+	cur, ref       []uint8
+	w, h           int
+	sr             int
+	earlyTerm      bool
+	x0, y0, bw, bh int
+	ops            *int64
+	// seen marks (dx,dy) candidates already probed for the current block
+	// (generation-stamped so it resets in O(1) per block). The three-step
+	// passes overlap — the unit ring can coincide with the coarse ring and
+	// the fast-path refinement revisits the origin's neighborhood — and a
+	// real encoder IP computes each candidate once, so the op accounting
+	// must too.
+	seen []uint32
+	gen  uint32
+}
+
+func newBlockSearch(cur, ref []uint8, w, h int, cfg Config) *blockSearch {
+	side := 2*cfg.SearchRange + 1
+	return &blockSearch{
+		cur: cur, ref: ref, w: w, h: h,
+		sr:        cfg.SearchRange,
+		earlyTerm: cfg.EarlyTerm,
+		seen:      make([]uint32, side*side),
+	}
+}
+
+// sad computes the SAD between the current block and the reference block
+// displaced by (dx,dy). Out-of-frame reference pixels are clamped to the
+// border (encoder padding behavior). When early termination is enabled the
+// row scan aborts once the accumulator exceeds cutoff — a candidate that can
+// no longer win — and only the pixels actually visited are charged.
+func (st *blockSearch) sad(dx, dy int, cutoff uint32) uint32 {
 	var acc uint32
-	for y := 0; y < bs; y++ {
-		cy := y0 + y
-		ry := clampInt(cy+dy, 0, h-1)
-		rowC := cy * w
-		rowR := ry * w
-		for x := 0; x < bs; x++ {
-			cx := x0 + x
-			rx := clampInt(cx+dx, 0, w-1)
-			c := int32(cur[rowC+cx])
-			r := int32(ref[rowR+rx])
+	var visited int64
+	for y := 0; y < st.bh; y++ {
+		cy := st.y0 + y
+		ry := clampInt(cy+dy, 0, st.h-1)
+		rowC := cy * st.w
+		rowR := ry * st.w
+		for x := 0; x < st.bw; x++ {
+			cx := st.x0 + x
+			rx := clampInt(cx+dx, 0, st.w-1)
+			c := int32(st.cur[rowC+cx])
+			r := int32(st.ref[rowR+rx])
 			d := c - r
 			if d < 0 {
 				d = -d
 			}
 			acc += uint32(d)
 		}
+		visited += int64(st.bw)
+		if acc > cutoff {
+			break
+		}
 	}
-	*ops += int64(bs * bs)
+	*st.ops += visited
 	return acc
 }
 
-func fullSearch(cur, ref []uint8, w, h, x0, y0, bs, sr int, ops *int64) (uint32, MotionVector) {
+// cutoff returns the early-termination bound for the current best. Aborting
+// only when the partial sum strictly exceeds best lets exact ties finish, so
+// the tie-breaking (and therefore MV selection) matches the exhaustive path.
+func (st *blockSearch) cutoff(best uint32) uint32 {
+	if st.earlyTerm {
+		return best
+	}
+	return ^uint32(0)
+}
+
+func (st *blockSearch) fullSearch() (uint32, MotionVector) {
 	best := ^uint32(0)
 	var mv MotionVector
-	for dy := -sr; dy <= sr; dy++ {
-		for dx := -sr; dx <= sr; dx++ {
-			s := sad(cur, ref, w, h, x0, y0, bs, dx, dy, ops)
+	for dy := -st.sr; dy <= st.sr; dy++ {
+		for dx := -st.sr; dx <= st.sr; dx++ {
+			s := st.sad(dx, dy, st.cutoff(best))
 			if s < best || (s == best && absInt(dx)+absInt(dy) < absInt(mv.DX)+absInt(mv.DY)) {
 				best = s
 				mv = MotionVector{dx, dy}
@@ -142,15 +259,30 @@ func fullSearch(cur, ref []uint8, w, h, x0, y0, bs, sr int, ops *int64) (uint32,
 	return best, mv
 }
 
-// threeStepSearch is the New Three-Step Search (NTSS) used by real-time
-// encoders: the classical logarithmic pattern, plus a unit-ring probe around
-// the origin in the first pass. Streaming video — and SLAM capture in
-// particular — is dominated by small motions, where plain TSS's large first
-// step can jump into a false SAD basin; NTSS short-circuits to a fine search
-// when the best first-pass candidate is adjacent to the origin.
-func threeStepSearch(cur, ref []uint8, w, h, x0, y0, bs, sr int, ops *int64) (uint32, MotionVector) {
+// probe evaluates candidate (dx,dy) unless this block already scanned it;
+// repeats report fresh=false and charge nothing.
+func (st *blockSearch) probe(dx, dy int, cutoff uint32) (s uint32, fresh bool) {
+	side := 2*st.sr + 1
+	idx := (dy+st.sr)*side + (dx + st.sr)
+	if st.seen[idx] == st.gen {
+		return 0, false
+	}
+	st.seen[idx] = st.gen
+	return st.sad(dx, dy, cutoff), true
+}
+
+// threeStep is the New Three-Step Search (NTSS) used by real-time encoders:
+// the classical logarithmic pattern, plus a unit-ring probe around the origin
+// in the first pass. Streaming video — and SLAM capture in particular — is
+// dominated by small motions, where plain TSS's large first step can jump
+// into a false SAD basin; NTSS short-circuits to a fine search when the best
+// first-pass candidate is adjacent to the origin. Candidates shared between
+// passes (the unit ring when the coarse step reaches 1, the fast-path
+// refinement around an origin neighbor) are probed and charged exactly once.
+func (st *blockSearch) threeStep() (uint32, MotionVector) {
+	st.gen++
 	cx, cy := 0, 0
-	best := sad(cur, ref, w, h, x0, y0, bs, 0, 0, ops)
+	best, _ := st.probe(0, 0, ^uint32(0))
 
 	scanRing := func(centerX, centerY, step int) (int, int, bool) {
 		bx, by := centerX, centerY
@@ -161,10 +293,11 @@ func threeStepSearch(cur, ref []uint8, w, h, x0, y0, bs, sr int, ops *int64) (ui
 					continue
 				}
 				nx, ny := centerX+dx, centerY+dy
-				if absInt(nx) > sr || absInt(ny) > sr {
+				if absInt(nx) > st.sr || absInt(ny) > st.sr {
 					continue
 				}
-				if s := sad(cur, ref, w, h, x0, y0, bs, nx, ny, ops); s < best {
+				s, fresh := st.probe(nx, ny, st.cutoff(best))
+				if fresh && s < best {
 					best = s
 					bx, by = nx, ny
 					improved = true
@@ -175,7 +308,7 @@ func threeStepSearch(cur, ref []uint8, w, h, x0, y0, bs, sr int, ops *int64) (ui
 	}
 
 	step := 1
-	for step*2 <= sr {
+	for step*2 <= st.sr {
 		step *= 2
 	}
 	// First pass: coarse ring and unit ring around the origin.
@@ -211,4 +344,11 @@ func absInt(x int) int {
 		return -x
 	}
 	return x
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
 }

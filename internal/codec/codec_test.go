@@ -1,8 +1,10 @@
 package codec
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
+	"reflect"
 	"testing"
 
 	"ags/internal/frame"
@@ -140,6 +142,126 @@ func TestMotionEstimateErrors(t *testing.T) {
 	tiny := noiseImage(4, 4, 6)
 	if _, err := MotionEstimate(tiny, tiny, DefaultConfig()); err == nil {
 		t.Error("image smaller than block accepted")
+	}
+}
+
+func TestEdgeBlocksCovered(t *testing.T) {
+	// 30x22 is not divisible by the 8-pixel block: the grid must grow to
+	// 4x3 with clamped partial blocks instead of dropping the remainder.
+	im := noiseImage(30, 22, 8)
+	res, err := MotionEstimate(im, im, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MBW != 4 || res.MBH != 3 {
+		t.Fatalf("grid %dx%d, want 4x3", res.MBW, res.MBH)
+	}
+	if res.Pixels != 30*22 {
+		t.Errorf("covered pixels %d, want %d", res.Pixels, 30*22)
+	}
+	if res.SumMinSAD() != 0 {
+		t.Errorf("identical frames SAD = %d", res.SumMinSAD())
+	}
+	// Worst-case frames: every covered pixel must contribute, including the
+	// partial right/bottom blocks, so Sum == Max exactly.
+	white := frame.NewImage(20, 12)
+	black := frame.NewImage(20, 12)
+	for i := range white.Pix {
+		white.Pix[i] = vecmath.Vec3{X: 1, Y: 1, Z: 1}
+	}
+	wres, err := MotionEstimate(white, black, Config{BlockSize: 8, SearchRange: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := uint64(20 * 12 * 255); wres.SumMinSAD() != want || wres.MaxPossibleSAD() != want {
+		t.Errorf("sum %d max %d, want both %d", wres.SumMinSAD(), wres.MaxPossibleSAD(), want)
+	}
+}
+
+func TestParallelMatchesSerial(t *testing.T) {
+	// The worker pool must be a pure performance change: byte-identical
+	// MinSAD, MV and SADOps across block sizes, search ranges, both search
+	// modes, early termination, and non-divisible frame sizes.
+	sizes := []struct{ w, h int }{{32, 32}, {30, 22}, {48, 36}}
+	for _, sz := range sizes {
+		prev := smoothImage(sz.w, sz.h, int64(sz.w))
+		cur := shiftImage(prev, 2, -1)
+		for _, bs := range []int{4, 8} {
+			for _, sr := range []int{2, 8} {
+				for _, three := range []bool{false, true} {
+					for _, et := range []bool{false, true} {
+						cfg := Config{BlockSize: bs, SearchRange: sr, ThreeStep: three, EarlyTerm: et}
+						serial, err := MotionEstimate(prev, cur, cfg)
+						if err != nil {
+							t.Fatal(err)
+						}
+						for _, wk := range []int{2, 3, 7} {
+							pcfg := cfg
+							pcfg.Workers = wk
+							par, err := MotionEstimate(prev, cur, pcfg)
+							if err != nil {
+								t.Fatal(err)
+							}
+							id := fmt.Sprintf("%dx%d bs=%d sr=%d three=%v et=%v wk=%d", sz.w, sz.h, bs, sr, three, et, wk)
+							if !reflect.DeepEqual(serial.MinSAD, par.MinSAD) {
+								t.Errorf("%s: MinSAD differs", id)
+							}
+							if !reflect.DeepEqual(serial.MV, par.MV) {
+								t.Errorf("%s: MV differs", id)
+							}
+							if serial.SADOps != par.SADOps {
+								t.Errorf("%s: SADOps %d != %d", id, par.SADOps, serial.SADOps)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestThreeStepDeduplicatesProbes(t *testing.T) {
+	// With SearchRange 1 the coarse ring and the unit ring are the same set
+	// of candidates; a real encoder scans them once. Identical frames make
+	// every probe cost exactly bs^2 ops (no early termination), so the count
+	// is closed-form: origin + 8 ring candidates = 9 probes per block.
+	im := noiseImage(16, 16, 9)
+	res, err := MotionEstimate(im, im, Config{BlockSize: 8, SearchRange: 1, ThreeStep: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := int64(4 * 9 * 64) // 4 blocks x 9 unique probes x 64 pixels
+	if res.SADOps != want {
+		t.Errorf("SADOps = %d, want %d (duplicate probes charged?)", res.SADOps, want)
+	}
+}
+
+func TestEarlyTerminationInvariant(t *testing.T) {
+	// Early termination only cuts short candidates that cannot win, so the
+	// SAD minima and motion vectors must match the exhaustive accumulation
+	// exactly; only the charged op count may drop.
+	prev := smoothImage(48, 36, 11)
+	cur := shiftImage(prev, 3, 2)
+	for _, three := range []bool{false, true} {
+		cfg := Config{BlockSize: 8, SearchRange: 8, ThreeStep: three}
+		plain, err := MotionEstimate(prev, cur, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.EarlyTerm = true
+		et, err := MotionEstimate(prev, cur, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(plain.MinSAD, et.MinSAD) || !reflect.DeepEqual(plain.MV, et.MV) {
+			t.Errorf("three=%v: early termination changed the search result", three)
+		}
+		if et.SADOps > plain.SADOps {
+			t.Errorf("three=%v: early termination raised ops %d > %d", three, et.SADOps, plain.SADOps)
+		}
+		if !three && et.SADOps >= plain.SADOps {
+			t.Errorf("full search with early termination saved nothing (%d ops)", et.SADOps)
+		}
 	}
 }
 

@@ -21,6 +21,8 @@ type Level int
 
 // Detector computes covisibility using the CODEC ME model. It corresponds to
 // the FC detection engine reading SAD values the CODEC already produced.
+// Cfg.Workers and Cfg.EarlyTerm tune the underlying ME; both are pure
+// performance knobs (see package codec), so the score is unaffected.
 type Detector struct {
 	Cfg codec.Config
 	// Sensitivity scales the normalized SAD before conversion to a score.
@@ -49,10 +51,14 @@ func (d *Detector) Compare(prev, cur *frame.Image) (Score, error) {
 		return 0, fmt.Errorf("covis: %w", err)
 	}
 	d.LastResult = res
-	return d.scoreOf(res), nil
+	return d.ScoreOf(res), nil
 }
 
-func (d *Detector) scoreOf(res *codec.Result) Score {
+// ScoreOf converts a raw ME result into the covisibility score. It is the
+// same mapping Compare applies, exposed so a pipelined frontend that ran
+// codec.MotionEstimate itself (e.g. the slam prefetch stage) scores the
+// prefetched result identically.
+func (d *Detector) ScoreOf(res *codec.Result) Score {
 	norm := float64(res.SumMinSAD()) / float64(res.MaxPossibleSAD())
 	s := 1 - d.Sensitivity*norm
 	if s < 0 {

@@ -3,8 +3,30 @@ package covis
 import (
 	"testing"
 
+	"ags/internal/codec"
 	"ags/internal/scene"
 )
+
+func TestScoreOfMatchesCompare(t *testing.T) {
+	// A prefetch stage runs MotionEstimate itself and scores the result via
+	// ScoreOf; that must be indistinguishable from Compare.
+	seq := scene.MustGenerate("Desk", scene.Config{Width: 48, Height: 36, Frames: 3, Seed: 1})
+	d := NewDetector()
+	want, err := d.Compare(seq.Frames[0].Color, seq.Frames[1].Color)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := codec.MotionEstimate(seq.Frames[0].Color, seq.Frames[1].Color, d.Cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := d.ScoreOf(res); got != want {
+		t.Errorf("ScoreOf = %v, Compare = %v", got, want)
+	}
+	if res.SADOps != d.LastResult.SADOps {
+		t.Errorf("SADOps %d != Compare's %d", res.SADOps, d.LastResult.SADOps)
+	}
+}
 
 func TestIdenticalFramesFullCovisibility(t *testing.T) {
 	seq := scene.MustGenerate("Desk", scene.Config{Width: 48, Height: 36, Frames: 2, Seed: 1})

@@ -5,6 +5,19 @@
 // the paper's Fig. 9 walk-through describes. The two AGS features are
 // individually switchable so the ablation of Fig. 18 and the Droid+SplaTAM
 // comparison of Table 4 come from the same pipeline.
+//
+// Concurrency: the paper's timing model has the CODEC encode (and therefore
+// motion-estimate) frame t+1 while the accelerator tracks and maps frame t,
+// making the SAD byproduct free by the time it is needed. Config.PipelineME
+// reproduces that overlap — Run (or a streaming caller via Prefetch) launches
+// ME for the next frame on a background goroutine and ProcessFrame consumes
+// the finished result instead of recomputing it. Config.CodecWorkers and
+// Config.CodecEarlyTerm tune the ME stage itself (see package codec).
+// Trajectories and covisibility scores are byte-identical to the serial path
+// under all three knobs; PipelineME and CodecWorkers also leave the modeled
+// operation counts untouched, while CodecEarlyTerm deliberately lowers the
+// traced SADOps (that is the optimization it models). The serial path
+// remains the default for A/B comparison.
 package slam
 
 import (
@@ -72,6 +85,19 @@ type Config struct {
 	// EvalFPRate runs an extra contribution-logged render on every non-key
 	// frame to measure the false-positive rate of the skip prediction.
 	EvalFPRate bool
+
+	// PipelineME overlaps CODEC motion estimation of frame t+1 with
+	// tracking/mapping of frame t (the paper's CODEC-runs-ahead timing,
+	// Fig. 9). Run drives the prefetch itself; streaming callers use
+	// System.Prefetch. Off = fully serial frontend.
+	PipelineME bool
+	// CodecWorkers bounds the ME worker pool inside the covisibility
+	// detector (0 or 1 = serial). Parallel ME is byte-identical to serial.
+	CodecWorkers int
+	// CodecEarlyTerm enables encoder early termination in the ME SAD
+	// accumulation; it lowers the modeled SADOps without changing SAD
+	// minima or motion vectors.
+	CodecEarlyTerm bool
 }
 
 // DefaultConfig returns the paper's hyper-parameters scaled to the given
@@ -161,6 +187,7 @@ type System struct {
 	gt          []vecmath.Pose
 	info        []FrameInfo
 	traceFrames []trace.FrameTrace
+	pending     []*mePrefetch // in-flight CODEC ME jobs (see prefetch.go)
 }
 
 // New returns a system for the given camera.
@@ -176,13 +203,16 @@ func New(cfg Config, intr camera.Intrinsics) *System {
 	refiner := tracker.NewGSRefiner()
 	refiner.LR = cfg.TrackLR
 	refiner.Workers = cfg.Workers
+	detector := covis.NewDetector()
+	detector.Cfg.Workers = cfg.CodecWorkers
+	detector.Cfg.EarlyTerm = cfg.CodecEarlyTerm
 	return &System{
 		Cfg:      cfg,
 		Intr:     intr,
 		mapper:   mapper.New(mcfg),
 		refiner:  refiner,
 		aligner:  tracker.NewCoarseAligner(),
-		detector: covis.NewDetector(),
+		detector: detector,
 		backbone: nnlite.NewPoseBackbone(7),
 		prevRel:  vecmath.PoseIdentity(),
 	}
@@ -243,7 +273,10 @@ func (s *System) bootstrap(f *frame.Frame, ft *trace.FrameTrace, info *FrameInfo
 
 func (s *System) step(f *frame.Frame, ft *trace.FrameTrace, info *FrameInfo) {
 	// --- Frame covisibility detection (CODEC + FC detection engine). ---
-	fc, err := s.detector.Compare(s.prevFrame.Color, f.Color)
+	// The previous-frame comparison is the one the pipelined frontend can
+	// have computed ahead of time; the key-frame comparison below depends on
+	// which frame is the current anchor, so it always runs synchronously.
+	fc, err := s.compareME(s.prevFrame.Color, f.Color)
 	if err != nil {
 		fc = 0
 	}
@@ -385,10 +418,16 @@ func (s *System) Finish(sequence string) *Result {
 	}
 }
 
-// Run executes the pipeline over a whole sequence.
+// Run executes the pipeline over a whole sequence. With cfg.PipelineME the
+// next frame's motion estimation is launched before each frame is processed,
+// so the CODEC stage overlaps the tracking/mapping work exactly as the
+// paper's frame walk-through times it.
 func Run(cfg Config, seq *scene.Sequence) (*Result, error) {
 	sys := New(cfg, seq.Intr)
-	for _, f := range seq.Frames {
+	for i, f := range seq.Frames {
+		if cfg.PipelineME && i+1 < len(seq.Frames) {
+			sys.Prefetch(f, seq.Frames[i+1])
+		}
 		if err := sys.ProcessFrame(f); err != nil {
 			return nil, err
 		}
