@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet fmt bench verify
+.PHONY: build test race vet fmt bench verify determinism
 
 build:
 	$(GO) build ./...
@@ -26,3 +26,9 @@ bench:
 # race detector so new concurrency is always race-checked.
 verify: fmt vet
 	$(GO) test -race ./...
+
+# Determinism gate: run the splat sharding equivalence tests twice so a
+# scheduling-dependent regression fails loudly instead of hiding behind one
+# lucky interleaving (CI runs this alongside verify).
+determinism:
+	$(GO) test -count=2 -run Determinism ./internal/splat/...

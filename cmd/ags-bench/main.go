@@ -26,7 +26,7 @@ func main() {
 		width   = flag.Int("w", 0, "override frame width")
 		height  = flag.Int("h", 0, "override frame height")
 		frames  = flag.Int("frames", 0, "override frames per sequence")
-		workers = flag.Int("workers", 0, "render worker goroutines (0 = all cores)")
+		workers = flag.Int("workers", 0, "render worker goroutines (0 = all cores; results are bit-identical for every value)")
 		quiet   = flag.Bool("q", false, "suppress progress lines")
 
 		codecWorkers = flag.Int("codec-workers", 0, "ME worker goroutines per frame (0 = serial)")

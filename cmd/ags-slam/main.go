@@ -26,6 +26,7 @@ func main() {
 		height   = flag.Int("h", 48, "frame height")
 		frames   = flag.Int("frames", 24, "frames in the sequence")
 		iters    = flag.Int("iters", 30, "baseline tracking iterations (N_T)")
+		workers  = flag.Int("workers", 0, "splat render worker goroutines (0 = all cores; results are bit-identical for every value)")
 		listSeq  = flag.Bool("listseq", false, "list sequence names and exit")
 		traceOut = flag.String("trace", "", "write the run's operation trace as JSON to this file")
 
@@ -44,6 +45,7 @@ func main() {
 
 	cfg := slam.DefaultConfig(*width, *height)
 	cfg.TrackIters = *iters
+	cfg.Workers = *workers
 	cfg.PipelineME = *pipelineME
 	cfg.CodecWorkers = *codecWorkers
 	cfg.CodecEarlyTerm = *meEarlyTerm

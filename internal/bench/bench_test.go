@@ -37,8 +37,8 @@ func TestFindExperiment(t *testing.T) {
 	if _, err := Find("nope"); err == nil {
 		t.Error("unknown experiment accepted")
 	}
-	if len(Experiments()) != 24 {
-		t.Errorf("registry has %d experiments, want 24", len(Experiments()))
+	if len(Experiments()) != 25 {
+		t.Errorf("registry has %d experiments, want 25", len(Experiments()))
 	}
 }
 
@@ -102,6 +102,25 @@ func TestPerfMEExperiment(t *testing.T) {
 	for _, want := range []string{"CODEC ME wall-time", "Parallel", "Pipelined ME"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("perf-me output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestPerfRenderExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slam runs in short mode")
+	}
+	var buf bytes.Buffer
+	s := NewSuite(tinyCfg(), &buf)
+	// PerfRender asserts bitwise serial/sharded equivalence internally and
+	// errors on divergence, so a clean return is the main assertion.
+	if err := s.PerfRender(); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"splat render+backward", "byte-identical"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("perf-render output missing %q:\n%s", want, out)
 		}
 	}
 }

@@ -109,13 +109,12 @@ func (s *Suite) PerfME() error {
 	// serial frontend (it overlaps ME with tracking/mapping; worst case the
 	// overlap is zero). Runs are uncached so the timing is honest.
 	seq := s.Sequence("Desk")
+	// The splat renderer shards tiles deterministically, so the exact
+	// trajectory check below holds with both runs fully parallel — no
+	// Workers=1 pin required.
 	serialCfg := s.slamConfig(VarAGS, nil)
 	serialCfg.PipelineME = false
 	serialCfg.CodecWorkers = 0
-	// The splat renderer's tile->worker assignment is scheduling-dependent,
-	// so poses drift in their last ulps across runs with multiple render
-	// workers; serialize it so the trajectory check below can be exact.
-	serialCfg.Workers = 1
 	pipeCfg := serialCfg
 	pipeCfg.PipelineME = true
 	pipeCfg.CodecWorkers = cores

@@ -1,0 +1,87 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"ags/internal/camera"
+	"ags/internal/splat"
+)
+
+// PerfRender is the perf experiment behind deterministic tile-sharded
+// rendering: it times the forward and backward splat passes serial vs sharded
+// on a mapped cloud and asserts that every worker count reproduces the serial
+// output bit for bit (images, workload counters, contribution log, and all
+// gradient buffers) — the property that lets every A/B experiment in the
+// suite run fully parallel.
+func (s *Suite) PerfRender() error {
+	b, err := s.Run("Desk", VarBaseline, "", nil)
+	if err != nil {
+		return err
+	}
+	cloud := b.Result.Cloud
+	mid := len(b.Result.Poses) / 2
+	cam := camera.Camera{Intr: b.Seq.Intr, Pose: b.Result.Poses[mid]}
+	target := b.Seq.Frames[mid]
+	lc := splat.DefaultMappingLoss()
+	const reps = 4
+
+	type sample struct {
+		workers        int
+		renderT, backT time.Duration
+		res            *splat.Result
+		grads          *splat.Grads
+	}
+	run := func(workers int) sample {
+		sm := sample{workers: workers}
+		opts := splat.Options{Workers: workers, LogContribution: true, ThreshAlpha: 1.0 / 255}
+		bopts := splat.BackwardOptions{GaussianGrads: true, PoseGrads: true, Workers: workers}
+		// Untimed warm-up so first-touch costs are not attributed to the
+		// first configuration measured.
+		sm.res = splat.Render(cloud, cam, opts)
+		sm.grads = splat.Backward(cloud, cam, sm.res, target, lc, bopts)
+		start := time.Now()
+		for r := 0; r < reps; r++ {
+			sm.res = splat.Render(cloud, cam, opts)
+		}
+		sm.renderT = time.Since(start) / reps
+		start = time.Now()
+		for r := 0; r < reps; r++ {
+			sm.grads = splat.Backward(cloud, cam, sm.res, target, lc, bopts)
+		}
+		sm.backT = time.Since(start) / reps
+		return sm
+	}
+
+	cores := runtime.GOMAXPROCS(0)
+	serial := run(1)
+	refRes, refGrads := serial.res.Digest(), serial.grads.Digest()
+	samples := []sample{serial}
+	for _, wkr := range []int{2, cores} {
+		if wkr <= 1 || (wkr == cores && len(samples) > 1 && samples[len(samples)-1].workers == cores) {
+			continue
+		}
+		sm := run(wkr)
+		if sm.res.Digest() != refRes {
+			return fmt.Errorf("bench: sharded render (workers=%d) diverged from serial output", wkr)
+		}
+		if sm.grads.Digest() != refGrads {
+			return fmt.Errorf("bench: sharded backward (workers=%d) diverged from serial gradients", wkr)
+		}
+		samples = append(samples, sm)
+	}
+
+	t := NewTable(fmt.Sprintf("Perf: splat render+backward wall-time (%dx%d, %d gaussians, %d cores)",
+		b.Seq.Intr.W, b.Seq.Intr.H, cloud.NumActive(), cores),
+		"Workers", "Render ms", "Backward ms", "Speedup")
+	ms := func(d time.Duration) string { return fmt.Sprintf("%.3f", float64(d.Nanoseconds())/1e6) }
+	serialTotal := serial.renderT + serial.backT
+	for _, sm := range samples {
+		total := sm.renderT + sm.backT
+		t.AddRow(sm.workers, ms(sm.renderT), ms(sm.backT), float64(serialTotal)/float64(total))
+	}
+	t.AddNote("all worker counts verified byte-identical to serial (images, counters, gradients)")
+	t.Write(s.Out)
+	return nil
+}

@@ -40,6 +40,7 @@ func Experiments() []Experiment {
 		{"abl-tables", "Extra: logging-buffer capacity sweep", (*Suite).AblTables},
 		{"abl-overlap", "Extra: pipelining/scheduler split", (*Suite).AblOverlap},
 		{"perf-me", "Perf: serial vs parallel vs pipelined CODEC ME", (*Suite).PerfME},
+		{"perf-render", "Perf: serial vs deterministically sharded splat render+backward", (*Suite).PerfRender},
 	}
 }
 

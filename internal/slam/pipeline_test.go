@@ -32,25 +32,14 @@ func assertSameRun(t *testing.T, want, got *Result) {
 	}
 }
 
-// pipelineCfg pins the splat renderer to one worker: its tile->worker
-// assignment is scheduling-dependent, so float reduction order (and poses in
-// their last ulps) varies across runs with Workers > 1. The frontend under
-// test — codec worker pool + ME prefetch — is deterministic by construction,
-// and serializing the renderer isolates exactly that.
-func pipelineCfg(ags bool) Config {
-	var cfg Config
-	if ags {
-		cfg = fastAGS(tw, th)
-	} else {
-		cfg = fastCfg(tw, th)
-	}
-	cfg.Workers = 1
-	return cfg
-}
+// These equivalence tests run the splat renderer fully parallel: its tile
+// sharding is deterministic (static tile ranges + ordered merge, see package
+// splat), so any Workers/CodecWorkers combination must reproduce the serial
+// reference bit for bit — no Workers=1 pin needed.
 
 func TestPipelinedFrontendMatchesSerial(t *testing.T) {
 	seq := testSeq(t, "Desk", 8)
-	cfg := pipelineCfg(true)
+	cfg := fastAGS(tw, th)
 	serial, err := Run(cfg, seq)
 	if err != nil {
 		t.Fatal(err)
@@ -69,7 +58,7 @@ func TestPipelinedBaselineMatchesSerial(t *testing.T) {
 	// The baseline pipeline also consumes covisibility (key-frame anchoring),
 	// so the prefetch path must be equivalent there too.
 	seq := testSeq(t, "Xyz", 6)
-	cfg := pipelineCfg(false)
+	cfg := fastCfg(tw, th)
 	serial, err := Run(cfg, seq)
 	if err != nil {
 		t.Fatal(err)
@@ -88,7 +77,7 @@ func TestMismatchedPrefetchFallsBack(t *testing.T) {
 	// A speculative prefetch for a frame that never arrives must be ignored
 	// and the synchronous path must produce the usual result.
 	seq := testSeq(t, "Desk", 4)
-	cfg := pipelineCfg(true)
+	cfg := fastAGS(tw, th)
 	want, err := Run(cfg, seq)
 	if err != nil {
 		t.Fatal(err)
@@ -112,6 +101,30 @@ func TestMismatchedPrefetchFallsBack(t *testing.T) {
 	}
 	got := sys.Finish(seq.Name)
 	assertSameRun(t, want, got)
+}
+
+// TestPipelineDeterminismFullParallel is the system-level regression test for
+// the deterministic sharding contract: a pipelined-prefetch run with a
+// multi-worker CODEC pool *and* a multi-worker renderer must be bit-identical
+// to the synchronous run — and the render worker count itself (3 vs 7 here)
+// must not leak into poses, decisions, or the trace.
+func TestPipelineDeterminismFullParallel(t *testing.T) {
+	seq := testSeq(t, "Desk", 8)
+	cfg := fastAGS(tw, th)
+	cfg.Workers = 3
+	sync, err := Run(cfg, seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pcfg := cfg
+	pcfg.PipelineME = true
+	pcfg.CodecWorkers = 4
+	pcfg.Workers = 7
+	pipelined, err := Run(pcfg, seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameRun(t, sync, pipelined)
 }
 
 func TestPrefetchNilFramesAreNoOps(t *testing.T) {

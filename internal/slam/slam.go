@@ -17,7 +17,10 @@
 // under all three knobs; PipelineME and CodecWorkers also leave the modeled
 // operation counts untouched, while CodecEarlyTerm deliberately lowers the
 // traced SADOps (that is the optimization it models). The serial path
-// remains the default for A/B comparison.
+// remains the default for A/B comparison. Config.Workers parallelizes the
+// splat renderer itself; its tile sharding is deterministic, so the render
+// worker count never changes results either — full-parallel runs are exact
+// A/B comparable.
 package slam
 
 import (
@@ -81,7 +84,10 @@ type Config struct {
 	KeyframeEvery int
 	// PruneEvery runs opacity pruning every k frames (0 = never).
 	PruneEvery int
-	Workers    int
+	// Workers bounds splat render/backward parallelism (0 = all cores). The
+	// splat pipeline shards tiles deterministically, so every value produces
+	// bit-identical trajectories, maps and traces (see package splat).
+	Workers int
 	// EvalFPRate runs an extra contribution-logged render on every non-key
 	// frame to measure the false-positive rate of the skip prediction.
 	EvalFPRate bool

@@ -2,7 +2,6 @@ package splat
 
 import (
 	"math"
-	"runtime"
 	"sync"
 
 	"ags/internal/camera"
@@ -61,7 +60,8 @@ type BackwardOptions struct {
 // contribution is one blending step recorded during the per-pixel forward
 // replay, consumed in reverse order for the suffix-sum alpha gradients.
 type contribution struct {
-	si    int32
+	si    int32 // index into res.Splats
+	li    int32 // position in the tile's Gaussian table (per-tile grad slot)
 	alpha float64
 	g     float64
 	t     float64 // transmittance *before* this Gaussian
@@ -95,68 +95,81 @@ func Backward(cloud *gauss.Cloud, cam camera.Camera, res *Result, target *frame.
 	}
 	norm := 1 / float64(masked)
 
-	workers := opts.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	nt := res.Tiles.NumTiles()
-	if workers > nt {
-		workers = nt
-	}
-	if workers < 1 {
-		workers = 1
-	}
+	// Every float reduction that crosses a tile boundary (loss, pose twist,
+	// per-Gaussian gradients) is accumulated into per-tile partials and
+	// merged serially in ascending tile order below. The reduction tree is
+	// therefore fixed — raster order within a tile, tile order across tiles —
+	// and independent of how tiles are sharded across workers, so the
+	// gradients are byte-identical for every Workers value.
+	tiles := res.Tiles
+	nt := tiles.NumTiles()
+	ranges := shardRanges(nt, opts.Workers)
 
-	type partial struct {
-		mean     []vecmath.Vec3
-		color    []vecmath.Vec3
-		logit    []float64
-		logScale []float64
-		pose     vecmath.Twist
-		loss     float64
+	// Per-tile gradient slots live in flat buffers indexed by the tile's
+	// offset into the concatenated Gaussian tables: entry j of tile t is at
+	// offsets[t]+j. A tile only ever touches Gaussians in its own table, so
+	// this is the sparse footprint of the tile's gradient contribution.
+	offsets := make([]int, nt+1)
+	for i, l := range tiles.Lists {
+		offsets[i+1] = offsets[i] + len(l)
 	}
-	parts := make([]partial, workers)
-	tileCh := make(chan int, nt)
-	for i := 0; i < nt; i++ {
-		tileCh <- i
+	lossByTile := make([]float64, nt)
+	poseByTile := make([]vecmath.Twist, nt)
+	var meanBuf, colorBuf []vecmath.Vec3
+	var logitBuf, logScaleBuf []float64
+	if opts.GaussianGrads {
+		n := offsets[nt]
+		meanBuf = make([]vecmath.Vec3, n)
+		colorBuf = make([]vecmath.Vec3, n)
+		logitBuf = make([]float64, n)
+		logScaleBuf = make([]float64, n)
 	}
-	close(tileCh)
 
 	var wg sync.WaitGroup
-	for wi := 0; wi < workers; wi++ {
+	for wi := range ranges {
 		wg.Add(1)
 		go func(wi int) {
 			defer wg.Done()
-			p := &parts[wi]
-			if opts.GaussianGrads {
-				p.mean = make([]vecmath.Vec3, cloud.Len())
-				p.color = make([]vecmath.Vec3, cloud.Len())
-				p.logit = make([]float64, cloud.Len())
-				p.logScale = make([]float64, cloud.Len())
-			}
 			scratch := make([]contribution, 0, 256)
-			for tileIdx := range tileCh {
-				backwardOneTile(cloud, cam, res, target, loss, opts, tileIdx, norm, p.mean, p.color, p.logit, p.logScale, &p.pose, &p.loss, &scratch)
+			for tileIdx := ranges[wi][0]; tileIdx < ranges[wi][1]; tileIdx++ {
+				var tMean, tColor []vecmath.Vec3
+				var tLogit, tLogScale []float64
+				if opts.GaussianGrads {
+					lo, hi := offsets[tileIdx], offsets[tileIdx+1]
+					tMean, tColor = meanBuf[lo:hi], colorBuf[lo:hi]
+					tLogit, tLogScale = logitBuf[lo:hi], logScaleBuf[lo:hi]
+				}
+				backwardOneTile(cloud, cam, res, target, loss, opts, tileIdx, norm,
+					tMean, tColor, tLogit, tLogScale,
+					&poseByTile[tileIdx], &lossByTile[tileIdx], &scratch)
 			}
 		}(wi)
 	}
 	wg.Wait()
 
-	for i := range parts {
-		grads.Loss += parts[i].loss
-		grads.Pose = grads.Pose.Add(parts[i].pose)
+	// Ordered merge: tile 0, 1, ... regardless of which worker produced each
+	// partial. Within a tile, entries are added in table order.
+	for tileIdx := 0; tileIdx < nt; tileIdx++ {
+		grads.Loss += lossByTile[tileIdx]
+		grads.Pose = grads.Pose.Add(poseByTile[tileIdx])
 		if opts.GaussianGrads {
-			for id := range parts[i].mean {
-				grads.Mean[id] = grads.Mean[id].Add(parts[i].mean[id])
-				grads.Color[id] = grads.Color[id].Add(parts[i].color[id])
-				grads.Logit[id] += parts[i].logit[id]
-				grads.LogScale[id] += parts[i].logScale[id]
+			base := offsets[tileIdx]
+			for j, si := range tiles.Lists[tileIdx] {
+				id := res.Splats[si].ID
+				grads.Mean[id] = grads.Mean[id].Add(meanBuf[base+j])
+				grads.Color[id] = grads.Color[id].Add(colorBuf[base+j])
+				grads.Logit[id] += logitBuf[base+j]
+				grads.LogScale[id] += logScaleBuf[base+j]
 			}
 		}
 	}
 	return grads
 }
 
+// backwardOneTile accumulates one tile's partial reductions. The Gaussian
+// gradient slices are per-tile slots indexed by position in the tile's
+// Gaussian table (NOT by Gaussian ID); Backward folds them into the per-ID
+// output buffers in fixed tile order.
 func backwardOneTile(cloud *gauss.Cloud, cam camera.Camera, res *Result, target *frame.Frame,
 	loss LossConfig, opts BackwardOptions, tileIdx int, norm float64,
 	gMean, gColor []vecmath.Vec3, gLogit, gLogScale []float64,
@@ -210,13 +223,13 @@ func backwardOneTile(cloud *gauss.Cloud, cam camera.Camera, res *Result, target 
 			// Forward replay, recording each blending step.
 			contribs := (*scratch)[:0]
 			t := 1.0
-			for _, si := range list {
+			for li, si := range list {
 				s := &splats[si]
 				alpha, g := s.Alpha(px, py)
 				if alpha < MinAlpha {
 					continue
 				}
-				contribs = append(contribs, contribution{si: si, alpha: alpha, g: g, t: t})
+				contribs = append(contribs, contribution{si: si, li: int32(li), alpha: alpha, g: g, t: t})
 				t *= 1 - alpha
 				if t < TransmittanceEps {
 					break
@@ -236,7 +249,7 @@ func backwardOneTile(cloud *gauss.Cloud, cam camera.Camera, res *Result, target 
 
 				// Color gradient: dC/dcolor_i = T_i*alpha_i.
 				if opts.GaussianGrads {
-					gColor[s.ID] = gColor[s.ID].Add(dLdC.Scale(wgt))
+					gColor[c.li] = gColor[c.li].Add(dLdC.Scale(wgt))
 				}
 
 				inv := 1 / (1 - c.alpha)
@@ -256,7 +269,7 @@ func backwardOneTile(cloud *gauss.Cloud, cam camera.Camera, res *Result, target 
 
 				if opts.GaussianGrads {
 					// d(alpha)/d(logit) = g * sigmoid'(logit).
-					gLogit[s.ID] += dLdA * c.g * gauss.SigmoidGrad(s.Opacity)
+					gLogit[c.li] += dLdA * c.g * gauss.SigmoidGrad(s.Opacity)
 				}
 
 				// d(alpha)/d(mean2D) = alpha * CovInv * (pix - mean2D).
@@ -274,13 +287,13 @@ func backwardOneTile(cloud *gauss.Cloud, cam camera.Camera, res *Result, target 
 				gpc.Z += dLdD * wgt // dD/d(depth_i) = T_i*alpha_i
 
 				if opts.GaussianGrads {
-					gMean[s.ID] = gMean[s.ID].Add(viewRT.MulVec(gpc))
+					gMean[c.li] = gMean[c.li].Add(viewRT.MulVec(gpc))
 					// Isotropic scale gradient through the 2D covariance:
 					// d(alpha)/d(log s) = alpha * s^2 * (CovInv d)^T JJT (CovInv d).
 					sc := cloud.At(s.ID).Scale()
 					s2 := (sc.X*sc.X + sc.Y*sc.Y + sc.Z*sc.Z) / 3
 					quad := sdx*(s.JJT.M00*sdx+s.JJT.M01*sdy) + sdy*(s.JJT.M10*sdx+s.JJT.M11*sdy)
-					gLogScale[s.ID] += dLdA * c.alpha * s2 * quad
+					gLogScale[c.li] += dLdA * c.alpha * s2 * quad
 				}
 				if opts.PoseGrads {
 					gPose.V = gPose.V.Add(gpc)

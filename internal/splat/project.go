@@ -7,6 +7,19 @@
 // statistics (alpha values below Thresh_alpha) that drive AGS's
 // contribution-aware mapping, and the per-pixel/per-tile workload traces the
 // hardware simulator replays.
+//
+// # Determinism contract
+//
+// Render and Backward are bit-reproducible: the tile grid is partitioned into
+// static contiguous per-worker shards, and every cross-tile reduction runs
+// over a fixed tree — raster order within a tile, ascending tile order across
+// tiles (per-tile float partials in Backward), fixed worker order for the
+// integer workload counters. Color/depth/silhouette/transmittance images, the
+// contribution log, AlphaOps/BlendOps, and all gradient buffers are therefore
+// byte-identical for every Options.Workers / BackwardOptions.Workers value,
+// including the serial Workers=1 path. Callers may rely on this for exact A/B
+// comparisons at full parallelism; Result.Digest and Grads.Digest exist to
+// assert it cheaply.
 package splat
 
 import (

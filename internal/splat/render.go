@@ -1,7 +1,6 @@
 package splat
 
 import (
-	"runtime"
 	"sync"
 
 	"ags/internal/camera"
@@ -69,16 +68,12 @@ func renderTiles(cloud *gauss.Cloud, cam camera.Camera, splats []Splat, tiles *T
 		res.NonContrib = make([]int32, cloud.Len())
 		res.Touched = make([]int32, cloud.Len())
 	}
-	workers := opts.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > tiles.NumTiles() {
-		workers = tiles.NumTiles()
-	}
-	if workers < 1 {
-		workers = 1
-	}
+	// Static sharding: each worker owns a contiguous tile range and walks it
+	// in ascending order. Pixel buffers are disjoint across tiles, and the
+	// cross-tile reductions below are integers (exact under any association),
+	// so the shards merged in fixed worker order produce byte-identical
+	// Results for every Workers value.
+	ranges := shardRanges(tiles.NumTiles(), opts.Workers)
 
 	type workerAcc struct {
 		nonContrib []int32
@@ -86,15 +81,10 @@ func renderTiles(cloud *gauss.Cloud, cam camera.Camera, splats []Splat, tiles *T
 		alphaOps   int64
 		blendOps   int64
 	}
-	accs := make([]workerAcc, workers)
-	tileCh := make(chan int, tiles.NumTiles())
-	for i := 0; i < tiles.NumTiles(); i++ {
-		tileCh <- i
-	}
-	close(tileCh)
+	accs := make([]workerAcc, len(ranges))
 
 	var wg sync.WaitGroup
-	for wi := 0; wi < workers; wi++ {
+	for wi := range ranges {
 		wg.Add(1)
 		go func(wi int) {
 			defer wg.Done()
@@ -103,13 +93,14 @@ func renderTiles(cloud *gauss.Cloud, cam camera.Camera, splats []Splat, tiles *T
 				acc.nonContrib = make([]int32, cloud.Len())
 				acc.touched = make([]int32, cloud.Len())
 			}
-			for tileIdx := range tileCh {
+			for tileIdx := ranges[wi][0]; tileIdx < ranges[wi][1]; tileIdx++ {
 				renderOneTile(res, splats, tiles, tileIdx, w, h, opts, acc.nonContrib, acc.touched, &acc.alphaOps, &acc.blendOps)
 			}
 		}(wi)
 	}
 	wg.Wait()
 
+	// Fixed-order merge (worker 0, 1, ...).
 	for i := range accs {
 		res.AlphaOps += accs[i].alphaOps
 		res.BlendOps += accs[i].blendOps

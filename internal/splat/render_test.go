@@ -219,6 +219,31 @@ func TestBuildTilesAssignsAndSorts(t *testing.T) {
 	}
 }
 
+func TestBuildTilesCullsOffscreenSplats(t *testing.T) {
+	intr := camera.NewIntrinsics(64, 48, math.Pi/3)
+	// All four 3-sigma boxes miss the image entirely; clamping would have
+	// charged each to a border tile.
+	off := []Splat{
+		{Mean2D: vecmath.Vec2{X: -40, Y: 20}, Radius: 6, Depth: 1},
+		{Mean2D: vecmath.Vec2{X: 120, Y: 20}, Radius: 10, Depth: 1},
+		{Mean2D: vecmath.Vec2{X: 30, Y: -25}, Radius: 4, Depth: 2},
+		{Mean2D: vecmath.Vec2{X: 30, Y: 90}, Radius: 8, Depth: 2},
+	}
+	tiles := BuildTiles(off, intr)
+	if n := tiles.TotalEntries(); n != 0 {
+		t.Errorf("off-screen splats produced %d table entries, want 0", n)
+	}
+	// A splat straddling the left border must keep its on-screen tile.
+	border := []Splat{{Mean2D: vecmath.Vec2{X: -2, Y: 8}, Radius: 5, Depth: 1}}
+	tiles = BuildTiles(border, intr)
+	if n := tiles.TotalEntries(); n != 1 {
+		t.Fatalf("border splat has %d table entries, want 1", n)
+	}
+	if len(tiles.List(0, 0)) != 1 {
+		t.Error("border splat missing from tile (0,0)")
+	}
+}
+
 func TestTileCoverageMatchesRadius(t *testing.T) {
 	cam := testCam(64, 48)
 	cloud := gauss.NewCloud(1)

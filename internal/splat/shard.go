@@ -1,0 +1,34 @@
+package splat
+
+import "runtime"
+
+// shardRanges partitions the half-open tile range [0, n) into at most
+// workers contiguous, ascending spans (workers <= 0 means GOMAXPROCS), sized
+// as evenly as possible. The partition is a pure function of (n, workers):
+// the same inputs always yield the same tile->shard assignment, which is what
+// makes the render and backward reductions scheduling-independent. Returned
+// spans are [start, end) pairs; at least one span is always returned (it is
+// empty when n == 0).
+func shardRanges(n, workers int) [][2]int {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	base, rem := n/workers, n%workers
+	out := make([][2]int, workers)
+	start := 0
+	for w := range out {
+		size := base
+		if w < rem {
+			size++
+		}
+		out[w] = [2]int{start, start + size}
+		start += size
+	}
+	return out
+}

@@ -40,6 +40,15 @@ func BuildTiles(splats []Splat, intr camera.Intrinsics) *Tiles {
 	t := &Tiles{TW: tw, TH: th, Lists: make([][]int32, tw*th)}
 	for i := range splats {
 		s := &splats[i]
+		// A splat whose 3-sigma box misses the image entirely is culled:
+		// clamping it into border tiles would charge phantom table entries
+		// (and alpha evaluations) to the workload trace. Render's
+		// preprocessing already culls these, but BuildTiles must stand alone
+		// for direct callers.
+		if s.Mean2D.X+s.Radius < 0 || s.Mean2D.Y+s.Radius < 0 ||
+			s.Mean2D.X-s.Radius >= float64(intr.W) || s.Mean2D.Y-s.Radius >= float64(intr.H) {
+			continue
+		}
 		x0 := clampInt(int((s.Mean2D.X-s.Radius)/TileSize), 0, tw-1)
 		x1 := clampInt(int((s.Mean2D.X+s.Radius)/TileSize), 0, tw-1)
 		y0 := clampInt(int((s.Mean2D.Y-s.Radius)/TileSize), 0, th-1)
