@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet fmt bench verify determinism
+.PHONY: build test race vet fmt bench verify determinism bench-batch
 
 build:
 	$(GO) build ./...
@@ -32,3 +32,11 @@ verify: fmt vet
 # lucky interleaving (CI runs this alongside verify).
 determinism:
 	$(GO) test -count=2 -run Determinism ./internal/splat/...
+
+# Batch-scheduler smoke: perf-me plus a pipeline experiment through the
+# warm/render scheduler at two jobs, emitting the machine-readable report
+# (CI uploads bench.json so the perf trajectory is recorded). table1 rides
+# along because perf-me alone is dataset-only and would leave the report's
+# per-run wall-time section empty.
+bench-batch:
+	$(GO) run ./cmd/ags-bench -exp perf-me,table1 -jobs 2 -json bench.json -q

@@ -5,10 +5,12 @@
 package ags_test
 
 import (
+	"io"
 	"runtime"
 	"sync"
 	"testing"
 
+	"ags/internal/bench"
 	"ags/internal/camera"
 	"ags/internal/codec"
 	"ags/internal/covis"
@@ -332,6 +334,59 @@ func BenchmarkFig9PipelinedFrontend(b *testing.B) {
 			if err := sys.ProcessFrame(fixSeq.Frames[f]); err != nil {
 				b.Fatal(err)
 			}
+		}
+	}
+}
+
+// BenchmarkBatchPlan times spec collection + dedup across the whole
+// experiment registry — the scheduler's planning overhead per batch.
+func BenchmarkBatchPlan(b *testing.B) {
+	exps := bench.Experiments()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(bench.PlanSpecs(exps)) == 0 {
+			b.Fatal("empty plan")
+		}
+	}
+}
+
+// Batch-scheduler fixture: a tiny warmed suite shared across iterations so
+// the benchmark times the warm/render machinery, not the SLAM pipelines.
+var (
+	batchOnce  sync.Once
+	batchSuite *bench.Suite
+	batchExps  []bench.Experiment
+)
+
+func batchFixture(b *testing.B) {
+	b.Helper()
+	batchOnce.Do(func() {
+		batchSuite = bench.NewSuite(bench.Config{
+			Width: 40, Height: 32, Frames: 6,
+			TrackIters: 8, IterT: 3, MapIters: 4,
+			DensifyStride: 2, Seed: 1,
+		})
+		for _, id := range []string{"table3", "fig22"} {
+			e, err := bench.Find(id)
+			if err != nil {
+				panic(err)
+			}
+			batchExps = append(batchExps, e)
+		}
+		if _, err := bench.RunBatch(batchSuite, batchExps, 2, io.Discard); err != nil {
+			panic(err)
+		}
+	})
+}
+
+// BenchmarkBatchRenderWarm times a full RunBatch over a warmed cache: the
+// per-batch cost of the scheduler + renderers once every spec is a hit.
+func BenchmarkBatchRenderWarm(b *testing.B) {
+	batchFixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.RunBatch(batchSuite, batchExps, 2, io.Discard); err != nil {
+			b.Fatal(err)
 		}
 	}
 }

@@ -1,18 +1,30 @@
 // Command ags-bench regenerates the paper's tables and figures.
 //
+// Experiments declare the (sequence, variant) runs they need; the batch
+// scheduler executes the deduplicated union across -jobs workers, then
+// renders every selected experiment in paper order from the warmed cache.
+// stdout carries only experiment text (byte-identical for every -jobs
+// value); progress lines go to stderr.
+//
 // Usage:
 //
 //	ags-bench                  # run every experiment at the quick scale
 //	ags-bench -exp fig15a      # run one experiment
+//	ags-bench -exp fig3,fig5   # run a subset
 //	ags-bench -list            # list experiment IDs
 //	ags-bench -scale full      # larger frames/iterations (slower)
+//	ags-bench -jobs 4          # bounded pipeline-execution concurrency
+//	ags-bench -json bench.json # machine-readable per-run wall-time report
 //	ags-bench -frames 32 -w 96 -h 72   # override individual knobs
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"strings"
 	"time"
 
 	"ags/internal/bench"
@@ -20,14 +32,16 @@ import (
 
 func main() {
 	var (
-		expID   = flag.String("exp", "", "experiment ID to run (default: all)")
+		expIDs  = flag.String("exp", "", "comma-separated experiment IDs to run (default: all)")
 		list    = flag.Bool("list", false, "list experiment IDs and exit")
 		scale   = flag.String("scale", "quick", "quick | full")
 		width   = flag.Int("w", 0, "override frame width")
 		height  = flag.Int("h", 0, "override frame height")
 		frames  = flag.Int("frames", 0, "override frames per sequence")
 		workers = flag.Int("workers", 0, "render worker goroutines (0 = all cores; results are bit-identical for every value)")
-		quiet   = flag.Bool("q", false, "suppress progress lines")
+		jobs    = flag.Int("jobs", 0, "concurrent pipeline executions in the batch scheduler (0 = all cores; output is byte-identical for every value)")
+		jsonOut = flag.String("json", "", "write a machine-readable report (per-run wall times) to this path")
+		quiet   = flag.Bool("q", false, "suppress progress lines (stderr)")
 
 		codecWorkers = flag.Int("codec-workers", 0, "ME worker goroutines per frame (0 = serial)")
 		pipelineME   = flag.Bool("pipeline-me", false, "prefetch next frame's ME concurrently with tracking/mapping")
@@ -37,7 +51,7 @@ func main() {
 
 	if *list {
 		for _, e := range bench.Experiments() {
-			fmt.Printf("%-8s %s\n", e.ID, e.Paper)
+			fmt.Printf("%-8s %s\n", e.ID(), e.Paper())
 		}
 		return
 	}
@@ -66,24 +80,50 @@ func main() {
 	cfg.PipelineME = *pipelineME
 	cfg.CodecEarlyTerm = *meEarlyTerm
 
-	suite := bench.NewSuite(cfg, os.Stdout)
-	suite.Verbose = !*quiet
-	start := time.Now()
-
-	var err error
-	if *expID == "" {
-		err = bench.RunAll(suite)
-	} else {
-		var e bench.Experiment
-		e, err = bench.Find(*expID)
-		if err == nil {
-			err = e.Run(suite)
+	exps := bench.Experiments()
+	if *expIDs != "" {
+		exps = exps[:0]
+		for _, id := range strings.Split(*expIDs, ",") {
+			e, err := bench.Find(strings.TrimSpace(id))
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "ags-bench: %v\n", err)
+				os.Exit(2)
+			}
+			exps = append(exps, e)
 		}
 	}
+
+	suite := bench.NewSuite(cfg)
+	if !*quiet {
+		suite.Log = os.Stderr
+	}
+	start := time.Now()
+
+	report, err := bench.RunBatch(suite, exps, *jobs, os.Stdout)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "ags-bench: %v\n", err)
 		os.Exit(1)
 	}
-	fmt.Printf("\n# done in %s (scale=%s %dx%d, %d frames/sequence)\n",
-		time.Since(start).Round(time.Millisecond), *scale, cfg.Width, cfg.Height, cfg.Frames)
+
+	if *jsonOut != "" {
+		blob := struct {
+			Scale      string       `json:"scale"`
+			GoMaxProcs int          `json:"gomaxprocs"`
+			Config     bench.Config `json:"config"`
+			*bench.Report
+		}{*scale, runtime.GOMAXPROCS(0), cfg, report}
+		data, err := json.MarshalIndent(blob, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ags-bench: encode report: %v\n", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*jsonOut, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "ags-bench: write report: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
+	fmt.Fprintf(os.Stderr, "\n# done in %s (scale=%s %dx%d, %d frames/sequence, jobs=%d, %d runs warmed in %.0fms)\n",
+		time.Since(start).Round(time.Millisecond), *scale, cfg.Width, cfg.Height, cfg.Frames,
+		report.Jobs, len(report.Runs), report.WarmMS)
 }

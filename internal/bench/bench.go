@@ -1,14 +1,30 @@
 // Package bench is the experiment harness: one generator per table and
 // figure of the paper's evaluation (§3 motivation profiles and §6), each
-// printing the same rows/series the paper reports. SLAM runs are cached and
-// shared across experiments, mirroring the paper's methodology of collecting
-// traces once and evaluating every platform on them.
+// printing the same rows/series the paper reports.
+//
+// The harness follows the paper's methodology — collect SLAM traces once,
+// evaluate every table and figure on them — as a declarative plan:
+//
+//  1. Every experiment is a value implementing Experiment. Needs() declares
+//     the RunSpecs — (sequence, variant, key, override) bundles — the
+//     experiment consumes; Render(suite, w) formats its text artifact from
+//     the suite's cache.
+//  2. RunBatch collects the specs of every selected experiment, deduplicates
+//     them, and executes the union across a bounded worker pool, sharing
+//     dataset generation and running each unique spec exactly once
+//     (singleflight).
+//  3. Each experiment then renders in paper order from the warmed cache, so
+//     the text output is byte-identical for every worker count.
+//
+// Direct Suite.Run calls go through the same singleflight cache, so ad-hoc
+// use (tests, single experiments) is race-free too.
 package bench
 
 import (
 	"fmt"
 	"io"
 	"sync"
+	"time"
 
 	"ags/internal/camera"
 	"ags/internal/mapper"
@@ -73,6 +89,32 @@ const (
 	VarGSLAMAGS  Variant = "gslam-ags"  // Gaussian-SLAM backbone + AGS
 )
 
+// RunSpec names one (sequence, variant, key, override) bundle an experiment
+// consumes. Key distinguishes parameter sweeps sharing a variant; Override,
+// if non-nil, further mutates the derived slam.Config and must be a pure
+// function of the key so that equal IDs describe equal pipelines. A zero
+// Variant marks a dataset-only spec: the scheduler generates the sequence
+// but executes no pipeline (experiments that only read frames, or that time
+// deliberately uncached runs, use this to share dataset generation).
+type RunSpec struct {
+	Seq      string
+	Variant  Variant
+	Key      string
+	Override func(*slam.Config)
+}
+
+// Spec returns the RunSpec of a plain (sequence, variant) run.
+func Spec(seq string, v Variant) RunSpec { return RunSpec{Seq: seq, Variant: v} }
+
+// SeqSpec returns a dataset-only RunSpec: generate the sequence, run nothing.
+func SeqSpec(seq string) RunSpec { return RunSpec{Seq: seq} }
+
+// DatasetOnly reports whether the spec names a dataset with no pipeline run.
+func (r RunSpec) DatasetOnly() bool { return r.Variant == "" }
+
+// ID is the cache identity of the spec: sequence/variant/key.
+func (r RunSpec) ID() string { return r.Seq + "/" + string(r.Variant) + "/" + r.Key }
+
 // Bundle is one cached SLAM run plus its dataset.
 type Bundle struct {
 	Seq    *scene.Sequence
@@ -91,46 +133,100 @@ func (b *Bundle) PSNR() (float64, error) {
 	return b.psnr, b.psnrErr
 }
 
-// Suite owns the run cache and output stream.
+// flight is one singleflight cell: the first caller executes, everyone else
+// blocks on done and shares the result. Successful cells stay in the map as
+// the cache; failed cells are forgotten so later callers retry.
+type flight struct {
+	done chan struct{}
+	val  any
+	err  error
+}
+
+// Suite owns the run cache. Experiment text goes to the writer passed to
+// Render/RunBatch; the suite itself only writes progress lines to Log.
 type Suite struct {
 	Cfg Config
-	Out io.Writer
+	// Log, if non-nil, receives cache-miss progress lines ("# running ...");
+	// runs take seconds to minutes. It is never interleaved with experiment
+	// text, so batch output stays byte-identical for every worker count.
+	Log io.Writer
 
-	mu      sync.Mutex
-	seqs    map[string]*scene.Sequence
-	bundles map[string]*Bundle
-	// Verbose logs each cache miss (runs take seconds to minutes).
-	Verbose bool
+	mu    sync.Mutex
+	seqs  map[string]*flight
+	runs  map[string]*flight
+	times map[string]time.Duration
+	logMu sync.Mutex
 }
 
-// NewSuite returns an empty suite writing to out.
-func NewSuite(cfg Config, out io.Writer) *Suite {
+// NewSuite returns an empty suite.
+func NewSuite(cfg Config) *Suite {
 	return &Suite{
-		Cfg:     cfg,
-		Out:     out,
-		seqs:    make(map[string]*scene.Sequence),
-		bundles: make(map[string]*Bundle),
+		Cfg:   cfg,
+		seqs:  make(map[string]*flight),
+		runs:  make(map[string]*flight),
+		times: make(map[string]time.Duration),
 	}
 }
 
-// Sequence returns (generating on first use) the named dataset.
-func (s *Suite) Sequence(name string) *scene.Sequence {
-	s.mu.Lock()
-	seq, ok := s.seqs[name]
-	s.mu.Unlock()
-	if ok {
-		return seq
+func (s *Suite) logf(format string, args ...any) {
+	if s.Log == nil {
+		return
 	}
-	seq = scene.MustGenerate(name, scene.Config{
-		Width: s.Cfg.Width, Height: s.Cfg.Height, Frames: s.Cfg.Frames, Seed: s.Cfg.Seed,
-	})
+	s.logMu.Lock()
+	fmt.Fprintf(s.Log, format, args...)
+	s.logMu.Unlock()
+}
+
+// doOnce executes fn for id exactly once among concurrent callers, caches a
+// successful value forever, and forgets failures so they can be retried.
+// fn runs without s.mu held, so it may nest doOnce calls on other maps.
+func (s *Suite) doOnce(m map[string]*flight, id string, fn func() (any, error)) (any, error) {
 	s.mu.Lock()
-	s.seqs[name] = seq
+	f, ok := m[id]
+	if ok {
+		s.mu.Unlock()
+		<-f.done
+		return f.val, f.err
+	}
+	f = &flight{done: make(chan struct{})}
+	m[id] = f
 	s.mu.Unlock()
+
+	f.val, f.err = fn()
+	s.mu.Lock()
+	if f.err != nil {
+		delete(m, id) // allow retries; waiters still see this error
+	}
+	s.mu.Unlock()
+	close(f.done)
+	return f.val, f.err
+}
+
+// sequence returns (generating on first use) the named dataset. Generation
+// is singleflighted: concurrent callers share one build.
+func (s *Suite) sequence(name string) (*scene.Sequence, error) {
+	v, err := s.doOnce(s.seqs, name, func() (any, error) {
+		return scene.Generate(name, scene.Config{
+			Width: s.Cfg.Width, Height: s.Cfg.Height, Frames: s.Cfg.Frames, Seed: s.Cfg.Seed,
+		})
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*scene.Sequence), nil
+}
+
+// Sequence returns the named dataset, panicking on unknown names (experiment
+// code only ever asks for the registry's own sequence names).
+func (s *Suite) Sequence(name string) *scene.Sequence {
+	seq, err := s.sequence(name)
+	if err != nil {
+		panic(err)
+	}
 	return seq
 }
 
-// slamConfig builds the pipeline configuration for a variant. overrides, if
+// slamConfig builds the pipeline configuration for a variant. override, if
 // non-nil, may further mutate the config (parameter sweeps).
 func (s *Suite) slamConfig(v Variant, override func(*slam.Config)) slam.Config {
 	cfg := slam.DefaultConfig(s.Cfg.Width, s.Cfg.Height)
@@ -164,38 +260,73 @@ func (s *Suite) slamConfig(v Variant, override func(*slam.Config)) slam.Config {
 	return cfg
 }
 
-// Run returns the cached bundle for (sequence, variant), executing the
-// pipeline on first use. key distinguishes parameter sweeps.
-func (s *Suite) Run(seqName string, v Variant, key string, override func(*slam.Config)) (*Bundle, error) {
-	id := seqName + "/" + string(v) + "/" + key
-	s.mu.Lock()
-	b, ok := s.bundles[id]
-	s.mu.Unlock()
-	if ok {
-		return b, nil
+// Run returns the cached bundle for the spec, executing the pipeline on
+// first use. Concurrent callers of one spec share a single execution
+// (singleflight), so the batch scheduler and direct calls can overlap freely.
+func (s *Suite) Run(spec RunSpec) (*Bundle, error) {
+	if spec.DatasetOnly() {
+		return nil, fmt.Errorf("bench: run %s: dataset-only spec has no pipeline", spec.ID())
 	}
-	seq := s.Sequence(seqName)
-	if s.Verbose {
-		fmt.Fprintf(s.Out, "# running %s ...\n", id)
+	if spec.Override != nil && spec.Key == "" {
+		// An unkeyed override would silently share a cache slot with the
+		// plain (sequence, variant) run: whichever executed first would
+		// poison the other's numbers. Refuse instead.
+		return nil, fmt.Errorf("bench: run %s: override requires a distinguishing key", spec.ID())
 	}
-	res, err := slam.Run(s.slamConfig(v, override), seq)
+	id := spec.ID()
+	v, err := s.doOnce(s.runs, id, func() (any, error) {
+		seq, err := s.sequence(spec.Seq)
+		if err != nil {
+			return nil, fmt.Errorf("bench: run %s: %w", id, err)
+		}
+		s.logf("# running %s ...\n", id)
+		start := time.Now()
+		res, err := slam.Run(s.slamConfig(spec.Variant, spec.Override), seq)
+		if err != nil {
+			return nil, fmt.Errorf("bench: run %s: %w", id, err)
+		}
+		s.mu.Lock()
+		s.times[id] = time.Since(start)
+		s.mu.Unlock()
+		return &Bundle{Seq: seq, Result: res}, nil
+	})
 	if err != nil {
-		return nil, fmt.Errorf("bench: run %s: %w", id, err)
+		return nil, err
 	}
-	b = &Bundle{Seq: seq, Result: res}
-	s.mu.Lock()
-	s.bundles[id] = b
-	s.mu.Unlock()
-	return b, nil
+	return v.(*Bundle), nil
 }
 
 // MustRun is Run for experiment code where errors are fatal to the harness.
-func (s *Suite) MustRun(seqName string, v Variant, key string, override func(*slam.Config)) *Bundle {
-	b, err := s.Run(seqName, v, key, override)
+func (s *Suite) MustRun(spec RunSpec) *Bundle {
+	b, err := s.Run(spec)
 	if err != nil {
 		panic(err)
 	}
 	return b
+}
+
+// warm materializes a spec without returning its value: the scheduler's
+// per-spec unit of work.
+func (s *Suite) warm(spec RunSpec) error {
+	if spec.DatasetOnly() {
+		_, err := s.sequence(spec.Seq)
+		return err
+	}
+	_, err := s.Run(spec)
+	return err
+}
+
+// Timings returns a copy of the wall time of every pipeline execution this
+// suite performed, keyed by RunSpec ID. Cache hits and singleflight waiters
+// do not add entries, so len(Timings()) counts actual executions.
+func (s *Suite) Timings() map[string]time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]time.Duration, len(s.times))
+	for k, v := range s.times {
+		out[k] = v
+	}
+	return out
 }
 
 // contributionStats renders frame fi of the bundle at its estimated pose

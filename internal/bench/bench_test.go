@@ -3,7 +3,11 @@ package bench
 import (
 	"bytes"
 	"strings"
+	"sync"
 	"testing"
+
+	"ags/internal/scene"
+	"ags/internal/slam"
 )
 
 // tinyCfg keeps bench tests fast; experiment correctness at scale is
@@ -17,22 +21,101 @@ func tinyCfg() Config {
 }
 
 func TestRunCacheReuses(t *testing.T) {
-	var buf bytes.Buffer
-	s := NewSuite(tinyCfg(), &buf)
-	b1 := s.MustRun("Desk", VarBaseline, "", nil)
-	b2 := s.MustRun("Desk", VarBaseline, "", nil)
+	s := NewSuite(tinyCfg())
+	b1 := s.MustRun(Spec("Desk", VarBaseline))
+	b2 := s.MustRun(Spec("Desk", VarBaseline))
 	if b1 != b2 {
 		t.Error("cache returned different bundles for same key")
 	}
-	b3 := s.MustRun("Desk", VarAGS, "", nil)
+	b3 := s.MustRun(Spec("Desk", VarAGS))
 	if b3 == b1 {
 		t.Error("different variants shared a bundle")
+	}
+	if n := len(s.Timings()); n != 2 {
+		t.Errorf("suite executed %d pipelines, want 2", n)
+	}
+}
+
+// TestRunSingleflight is the check-then-act regression test: N concurrent
+// callers of one spec must trigger exactly one pipeline execution and all
+// receive the same bundle.
+func TestRunSingleflight(t *testing.T) {
+	s := NewSuite(tinyCfg())
+	const callers = 16
+	bundles := make([]*Bundle, callers)
+	errs := make([]error, callers)
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			bundles[i], errs[i] = s.Run(Spec("Desk", VarBaseline))
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < callers; i++ {
+		if errs[i] != nil {
+			t.Fatalf("caller %d: %v", i, errs[i])
+		}
+		if bundles[i] != bundles[0] {
+			t.Fatalf("caller %d received a different bundle", i)
+		}
+	}
+	if n := len(s.Timings()); n != 1 {
+		t.Errorf("%d concurrent callers triggered %d executions, want 1", callers, n)
+	}
+}
+
+// TestSequenceSingleflight checks dataset generation is shared the same way.
+func TestSequenceSingleflight(t *testing.T) {
+	s := NewSuite(tinyCfg())
+	const callers = 8
+	seqs := make([]any, callers)
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			seqs[i] = s.Sequence("Desk")
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < callers; i++ {
+		if seqs[i] != seqs[0] {
+			t.Fatalf("caller %d generated a distinct sequence", i)
+		}
+	}
+}
+
+func TestRunRejectsDatasetOnlySpec(t *testing.T) {
+	s := NewSuite(tinyCfg())
+	if _, err := s.Run(SeqSpec("Desk")); err == nil {
+		t.Error("dataset-only spec accepted by Run")
+	}
+}
+
+func TestRunUnknownSequence(t *testing.T) {
+	s := NewSuite(tinyCfg())
+	if _, err := s.Run(Spec("NoSuchSeq", VarBaseline)); err == nil ||
+		!strings.Contains(err.Error(), "unknown sequence") {
+		t.Errorf("unknown sequence error = %v", err)
+	}
+	// The failure must not poison the cache: a valid spec still runs.
+	if _, err := s.Run(Spec("Desk", VarBaseline)); err != nil {
+		t.Fatal(err)
 	}
 }
 
 func TestFindExperiment(t *testing.T) {
-	if _, err := Find("fig15a"); err != nil {
+	e, err := Find("fig15a")
+	if err != nil {
 		t.Fatal(err)
+	}
+	if e.ID() != "fig15a" || e.Paper() == "" {
+		t.Errorf("bad experiment identity: %q / %q", e.ID(), e.Paper())
+	}
+	if len(e.Needs()) == 0 {
+		t.Error("fig15a declares no needs")
 	}
 	if _, err := Find("nope"); err == nil {
 		t.Error("unknown experiment accepted")
@@ -42,10 +125,46 @@ func TestFindExperiment(t *testing.T) {
 	}
 }
 
+// TestNeedsAreWellFormed: every declared spec names a known sequence, keyed
+// specs carry an override, and — critically — no override ships without a
+// key: ID() ignores Override, so an unkeyed override would collide with the
+// plain (sequence, variant) cache slot and poison other experiments.
+func TestNeedsAreWellFormed(t *testing.T) {
+	known := map[string]bool{}
+	for _, name := range scene.Names() {
+		known[name] = true
+	}
+	for _, e := range Experiments() {
+		for _, spec := range e.Needs() {
+			if !known[spec.Seq] {
+				t.Errorf("%s: spec names unknown sequence %q", e.ID(), spec.Seq)
+			}
+			if spec.Key != "" && spec.Override == nil {
+				t.Errorf("%s: keyed spec %s without override", e.ID(), spec.ID())
+			}
+			if spec.Key == "" && spec.Override != nil {
+				t.Errorf("%s: spec %s has an override but no key (cache collision)", e.ID(), spec.ID())
+			}
+			if spec.DatasetOnly() && spec.Key != "" {
+				t.Errorf("%s: dataset-only spec %s with key", e.ID(), spec.ID())
+			}
+		}
+	}
+}
+
+// TestRunRejectsUnkeyedOverride pins the cache-collision guard.
+func TestRunRejectsUnkeyedOverride(t *testing.T) {
+	s := NewSuite(tinyCfg())
+	spec := RunSpec{Seq: "Desk", Variant: VarAGS, Override: func(*slam.Config) {}}
+	if _, err := s.Run(spec); err == nil || !strings.Contains(err.Error(), "key") {
+		t.Errorf("unkeyed override accepted: %v", err)
+	}
+}
+
 func TestTable3RunsWithoutSlam(t *testing.T) {
 	var buf bytes.Buffer
-	s := NewSuite(tinyCfg(), &buf)
-	if err := s.Table3(); err != nil {
+	s := NewSuite(tinyCfg())
+	if err := s.Table3(&buf); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -58,12 +177,15 @@ func TestTable3RunsWithoutSlam(t *testing.T) {
 
 func TestFig22RunsOnSequencesOnly(t *testing.T) {
 	var buf bytes.Buffer
-	s := NewSuite(tinyCfg(), &buf)
-	if err := s.Fig22(); err != nil {
+	s := NewSuite(tinyCfg())
+	if err := s.Fig22(&buf); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "High") {
 		t.Errorf("fig22 output malformed:\n%s", buf.String())
+	}
+	if n := len(s.Timings()); n != 0 {
+		t.Errorf("fig22 executed %d pipelines, want 0 (dataset-only)", n)
 	}
 }
 
@@ -72,11 +194,11 @@ func TestSpeedupExperimentEndToEnd(t *testing.T) {
 		t.Skip("slam runs in short mode")
 	}
 	var buf bytes.Buffer
-	s := NewSuite(tinyCfg(), &buf)
+	s := NewSuite(tinyCfg())
 	// Restrict to one sequence by running the underlying pieces directly:
 	// Fig. 15 needs all nine sequences, which is too slow here; instead
 	// exercise Table 1, which needs three variants on Desk.
-	if err := s.Table1(); err != nil {
+	if err := s.Table1(&buf); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -92,10 +214,10 @@ func TestPerfMEExperiment(t *testing.T) {
 		t.Skip("slam runs in short mode")
 	}
 	var buf bytes.Buffer
-	s := NewSuite(tinyCfg(), &buf)
+	s := NewSuite(tinyCfg())
 	// PerfME verifies parallel/serial equivalence internally and errors on
 	// divergence, so a clean return is the main assertion.
-	if err := s.PerfME(); err != nil {
+	if err := s.PerfME(&buf); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -111,14 +233,15 @@ func TestPerfRenderExperiment(t *testing.T) {
 		t.Skip("slam runs in short mode")
 	}
 	var buf bytes.Buffer
-	s := NewSuite(tinyCfg(), &buf)
-	// PerfRender asserts bitwise serial/sharded equivalence internally and
-	// errors on divergence, so a clean return is the main assertion.
-	if err := s.PerfRender(); err != nil {
+	s := NewSuite(tinyCfg())
+	// PerfRender asserts bitwise serial/sharded and pooled/unpooled
+	// equivalence internally and errors on divergence, so a clean return is
+	// the main assertion.
+	if err := s.PerfRender(&buf); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
-	for _, want := range []string{"splat render+backward", "byte-identical"} {
+	for _, want := range []string{"splat render+backward", "byte-identical", "allocs/op"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("perf-render output missing %q:\n%s", want, out)
 		}

@@ -2,6 +2,7 @@ package bench
 
 import (
 	"fmt"
+	"io"
 
 	"ags/internal/hw/platform"
 	"ags/internal/metrics"
@@ -9,17 +10,70 @@ import (
 	"ags/internal/slam"
 )
 
+func expTable1() Experiment {
+	return expDef{
+		id: "table1", paper: "Table 1 (category comparison)",
+		needs:  specsFor([]string{"Desk"}, VarBaseline, VarAGS, VarDroid),
+		render: (*Suite).Table1,
+	}
+}
+
+func expTable2() Experiment {
+	return expDef{
+		id: "table2", paper: "Table 2 (ATE RMSE)",
+		needs:  specsFor(scene.TUMNames(), VarBaseline, VarAGS, VarDroid),
+		render: (*Suite).Table2,
+	}
+}
+
+func expFig14() Experiment {
+	return expDef{
+		id: "fig14", paper: "Fig. 14 (PSNR)",
+		needs:  specsFor(scene.Names(), VarBaseline, VarAGS),
+		render: (*Suite).Fig14,
+	}
+}
+
+func expTable4() Experiment {
+	return expDef{
+		id: "table4", paper: "Table 4 (Droid+SplaTAM)",
+		needs:  specsFor(scene.TUMNames(), VarAGS, VarDroid),
+		render: (*Suite).Table4,
+	}
+}
+
+// fpSpec is the FPRate run for one sequence: the AGS pipeline with
+// false-positive evaluation enabled, keyed apart from the plain AGS runs.
+func fpSpec(seq string) RunSpec {
+	return RunSpec{
+		Seq: seq, Variant: VarAGS, Key: "fp",
+		Override: func(c *slam.Config) { c.EvalFPRate = true },
+	}
+}
+
+func expFPRate() Experiment {
+	specs := make([]RunSpec, 0, len(scene.TUMNames()))
+	for _, name := range scene.TUMNames() {
+		specs = append(specs, fpSpec(name))
+	}
+	return expDef{
+		id: "fp", paper: "§6.2 (false-positive rate)",
+		needs:  specs,
+		render: (*Suite).FPRate,
+	}
+}
+
 // Table1 reproduces the paper's Table 1: SLAM category comparison on Desk.
 // The 3DGS-SLAM rows are measured; the traditional-SLAM row uses the
 // coarse-only geometric tracker (our stand-in for classical odometry); the
 // NeRF band is reported from the paper since no NeRF substrate exists here.
-func (s *Suite) Table1() error {
+func (s *Suite) Table1(w io.Writer) error {
 	t := NewTable("Table 1: SLAM algorithm categories (Desk)",
 		"Category", "Algorithm", "ATE(cm)", "PSNR(dB)", "Latency(s/frame, modeled)")
 
-	base := s.MustRun("Desk", VarBaseline, "", nil)
-	ags := s.MustRun("Desk", VarAGS, "", nil)
-	droid := s.MustRun("Desk", VarDroid, "", nil)
+	base := s.MustRun(Spec("Desk", VarBaseline))
+	ags := s.MustRun(Spec("Desk", VarAGS))
+	droid := s.MustRun(Spec("Desk", VarDroid))
 
 	addRow := func(cat, name string, b *Bundle, pl platform.Platform) error {
 		ate, err := b.Result.ATERMSECm()
@@ -46,13 +100,13 @@ func (s *Suite) Table1() error {
 	}
 	t.AddNote("paper bands: 3DGS-SLAM high ATE/high PSNR/slow; Trad-SLAM low ATE/low PSNR/fast")
 	t.AddNote("NeRF-SLAM row omitted: no NeRF substrate in this reproduction")
-	t.Write(s.Out)
+	t.Write(w)
 	return nil
 }
 
 // Table2 reproduces Table 2: tracking accuracy (ATE RMSE, cm) on the
 // TUM-style sequences for the baseline, AGS, and the classical tracker.
-func (s *Suite) Table2() error {
+func (s *Suite) Table2(w io.Writer) error {
 	t := NewTable("Table 2: Tracking Accuracy (ATE RMSE, cm, lower is better)",
 		append([]string{"Algorithm"}, append(scene.TUMNames(), "GeoMean")...)...)
 	rows := []struct {
@@ -66,7 +120,7 @@ func (s *Suite) Table2() error {
 	for _, r := range rows {
 		vals := map[string]float64{}
 		for _, name := range scene.TUMNames() {
-			b, err := s.Run(name, r.v, "", nil)
+			b, err := s.Run(Spec(name, r.v))
 			if err != nil {
 				return err
 			}
@@ -83,12 +137,12 @@ func (s *Suite) Table2() error {
 		t.AddRow(cells...)
 	}
 	t.AddNote("paper: SplaTAM 5.54 geomean, AGS 2.81 (1.97x better), Orb-SLAM2 1.98")
-	t.Write(s.Out)
+	t.Write(w)
 	return nil
 }
 
 // Fig14 reproduces Fig. 14: PSNR of the baseline vs AGS on all sequences.
-func (s *Suite) Fig14() error {
+func (s *Suite) Fig14(w io.Writer) error {
 	t := NewTable("Fig. 14: PSNR (dB, higher is better)",
 		append([]string{"Algorithm"}, append(scene.Names(), "GeoMean")...)...)
 	for _, r := range []struct {
@@ -97,7 +151,7 @@ func (s *Suite) Fig14() error {
 	}{{"Baseline", VarBaseline}, {"AGS", VarAGS}} {
 		vals := map[string]float64{}
 		for _, name := range scene.Names() {
-			b, err := s.Run(name, r.v, "", nil)
+			b, err := s.Run(Spec(name, r.v))
 			if err != nil {
 				return err
 			}
@@ -114,13 +168,13 @@ func (s *Suite) Fig14() error {
 		t.AddRow(cells...)
 	}
 	t.AddNote("paper: AGS loses 2.36%% PSNR on average vs the baseline")
-	t.Write(s.Out)
+	t.Write(w)
 	return nil
 }
 
 // Table4 reproduces Table 4: PSNR of AGS vs directly integrating the coarse
 // tracker with SplaTAM (no fine-grained refinement).
-func (s *Suite) Table4() error {
+func (s *Suite) Table4(w io.Writer) error {
 	t := NewTable("Table 4: PSNR vs direct Droid+SplaTAM integration (dB)",
 		append([]string{"Benchmark"}, append(scene.TUMNames(), "GeoMean")...)...)
 	for _, r := range []struct {
@@ -129,7 +183,7 @@ func (s *Suite) Table4() error {
 	}{{"AGS", VarAGS}, {"Droid+SplaTAM (coarse only)", VarDroid}} {
 		vals := map[string]float64{}
 		for _, name := range scene.TUMNames() {
-			b, err := s.Run(name, r.v, "", nil)
+			b, err := s.Run(Spec(name, r.v))
 			if err != nil {
 				return err
 			}
@@ -146,18 +200,18 @@ func (s *Suite) Table4() error {
 		t.AddRow(cells...)
 	}
 	t.AddNote("paper: 21.55 vs 20.87 dB — refinement preserves mapping quality")
-	t.Write(s.Out)
+	t.Write(w)
 	return nil
 }
 
 // FPRate reproduces the §6.2 false-positive analysis of the contribution
 // prediction.
-func (s *Suite) FPRate() error {
+func (s *Suite) FPRate(w io.Writer) error {
 	t := NewTable("§6.2: False-positive rate of non-contributory prediction (%)",
 		"Sequence", "Mean FP rate", "Non-key frames")
 	var all []float64
 	for _, name := range scene.TUMNames() {
-		b, err := s.Run(name, VarAGS, "fp", func(c *slam.Config) { c.EvalFPRate = true })
+		b, err := s.Run(fpSpec(name))
 		if err != nil {
 			return err
 		}
@@ -185,7 +239,7 @@ func (s *Suite) FPRate() error {
 	}
 	t.AddRow("Average", mean, "")
 	t.AddNote("paper: 5.7%% average FP rate")
-	t.Write(s.Out)
+	t.Write(w)
 	return nil
 }
 

@@ -2,6 +2,7 @@ package bench
 
 import (
 	"fmt"
+	"io"
 	"math"
 	"math/rand"
 	"reflect"
@@ -13,6 +14,16 @@ import (
 	"ags/internal/slam"
 	"ags/internal/vecmath"
 )
+
+func expPerfME() Experiment {
+	return expDef{
+		id: "perf-me", paper: "Perf: serial vs parallel vs pipelined CODEC ME",
+		// Dataset-only: the experiment times deliberately uncached SLAM runs,
+		// so it declares the sequence but no pipeline bundle.
+		needs:  []RunSpec{SeqSpec("Desk")},
+		render: (*Suite).PerfME,
+	}
+}
 
 // mePerfImage builds a textured low-frequency image pair (global shift plus
 // per-pixel detail) at a CODEC-realistic size, independent of the suite's
@@ -46,7 +57,7 @@ func shiftPerfImage(src *frame.Image, dx, dy int) *frame.Image {
 // CODEC-scale frame, verifies the parallel output is byte-identical, and
 // then compares the serial against the pipelined (ME-prefetching) SLAM
 // frontend wall-clock on a short sequence.
-func (s *Suite) PerfME() error {
+func (s *Suite) PerfME(out io.Writer) error {
 	const w, h = 320, 240
 	const reps = 4
 	prev := mePerfImage(w, h, 21)
@@ -103,7 +114,7 @@ func (s *Suite) PerfME() error {
 	t.AddRow(fmt.Sprintf("Parallel (%d workers)", cores), ms(parT), float64(serialT)/float64(parT), parRes.SADOps)
 	t.AddRow("Parallel + early term", ms(etT), float64(serialT)/float64(etT), etRes.SADOps)
 	t.AddNote("parallel output verified byte-identical to serial; expect >=2x on >=4 cores")
-	t.Write(s.Out)
+	t.Write(out)
 
 	// Frontend comparison: the pipelined prefetch must never lose to the
 	// serial frontend (it overlaps ME with tracking/mapping; worst case the
@@ -146,6 +157,6 @@ func (s *Suite) PerfME() error {
 	ft.AddRow("Pipelined ME", pipeWall.Round(time.Millisecond).String(), perFrame(pipeWall),
 		float64(serialWall)/float64(pipeWall))
 	ft.AddNote("trajectories verified identical; ME cost is a small slice of the Go-side frame time, so gains are modest here — the paper's Fig. 9 overlap matters on the accelerator timing model")
-	ft.Write(s.Out)
+	ft.Write(out)
 	return nil
 }

@@ -2,6 +2,7 @@ package bench
 
 import (
 	"fmt"
+	"io"
 	"math"
 
 	"ags/internal/codec"
@@ -14,11 +15,35 @@ import (
 
 // Extra (non-paper) ablations for design choices DESIGN.md calls out.
 
+func expAblCodec() Experiment {
+	return expDef{
+		id: "abl-codec", paper: "Extra: ME search ablation",
+		needs:  []RunSpec{SeqSpec("Desk")},
+		render: (*Suite).AblCodec,
+	}
+}
+
+func expAblTables() Experiment {
+	return expDef{
+		id: "abl-tables", paper: "Extra: logging-buffer capacity sweep",
+		needs:  []RunSpec{Spec("Desk", VarBaseline)},
+		render: (*Suite).AblTables,
+	}
+}
+
+func expAblOverlap() Experiment {
+	return expDef{
+		id: "abl-overlap", paper: "Extra: pipelining/scheduler split",
+		needs:  specsFor(scene.TUMNames(), VarAGS),
+		render: (*Suite).AblOverlap,
+	}
+}
+
 // AblCodec compares the two motion-estimation searches: exhaustive full
 // search (what a quality-oriented encoder does) vs the NTSS logarithmic
 // search (what a real-time hardware encoder does), in both cost and the
 // covisibility signal they produce.
-func (s *Suite) AblCodec() error {
+func (s *Suite) AblCodec(w io.Writer) error {
 	t := NewTable("Ablation: ME search strategy (Desk, adjacent frames)",
 		"Search", "SAD ops/frame", "Sum min-SAD (mean)", "Covis corr. w/ full")
 	seq := s.Sequence("Desk")
@@ -56,14 +81,14 @@ func (s *Suite) AblCodec() error {
 	t.AddRow("Full search", full.ops, full.sumSAD, 1.0)
 	t.AddRow("NTSS", ntss.ops, ntss.sumSAD, correlation(full.scores, ntss.scores))
 	t.AddNote("NTSS must track full search's covisibility signal at a fraction of the ops")
-	t.Write(s.Out)
+	t.Write(w)
 	return nil
 }
 
 // AblTables sweeps the GS logging buffer capacity, showing how much of the
 // hot/cold optimization survives smaller on-chip tables.
-func (s *Suite) AblTables() error {
-	b, err := s.Run("Desk", VarBaseline, "", nil)
+func (s *Suite) AblTables(w io.Writer) error {
+	b, err := s.Run(Spec("Desk", VarBaseline))
 	if err != nil {
 		return err
 	}
@@ -90,18 +115,18 @@ func (s *Suite) AblTables() error {
 		t.AddRow(cap, res.OptAccesses, 100*float64(res.OptAccesses)/float64(naive))
 	}
 	t.AddNote("paper sizes the logging table at 4KB (512 entries, Edge) / 8KB (1024, Server)")
-	t.Write(s.Out)
+	t.Write(w)
 	return nil
 }
 
 // AblOverlap isolates the engine-level pipelining (Fig. 9) and GPE scheduler
 // contributions on the AGS traces.
-func (s *Suite) AblOverlap() error {
+func (s *Suite) AblOverlap(w io.Writer) error {
 	t := NewTable("Ablation: pipelining and GPE scheduler (AGS-Server, speedup vs both off)",
 		"Sequence", "+pipelining", "+scheduler", "+both")
 	var p1, p2, p3 []float64
 	for _, name := range scene.TUMNames() {
-		b, err := s.Run(name, VarAGS, "", nil)
+		b, err := s.Run(Spec(name, VarAGS))
 		if err != nil {
 			return err
 		}
@@ -115,7 +140,7 @@ func (s *Suite) AblOverlap() error {
 	}
 	t.AddRow("GeoMean", metrics.GeoMean(p1), metrics.GeoMean(p2), metrics.GeoMean(p3))
 	t.AddNote("pipelining dominates at this workload scale; scheduler gains grow with per-pixel skew")
-	t.Write(s.Out)
+	t.Write(w)
 	return nil
 }
 

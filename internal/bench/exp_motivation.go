@@ -1,6 +1,8 @@
 package bench
 
 import (
+	"io"
+
 	"ags/internal/covis"
 	"ags/internal/hw/platform"
 	"ags/internal/scene"
@@ -8,15 +10,55 @@ import (
 	"ags/internal/vecmath"
 )
 
+func expFig3() Experiment {
+	return expDef{
+		id: "fig3", paper: "Fig. 3 (tracking vs mapping time)",
+		needs:  specsFor(scene.TUMNames(), VarBaseline),
+		render: (*Suite).Fig3,
+	}
+}
+
+func expFig4() Experiment {
+	return expDef{
+		id: "fig4", paper: "Fig. 4 (accuracy vs iterations by FC)",
+		needs:  specsFor([]string{"Desk"}, VarBaseline),
+		render: (*Suite).Fig4,
+	}
+}
+
+func expFig5() Experiment {
+	return expDef{
+		id: "fig5", paper: "Fig. 5 (non-contributory Gaussians)",
+		needs:  specsFor(scene.TUMNames(), VarBaseline),
+		render: (*Suite).Fig5,
+	}
+}
+
+func expFig6() Experiment {
+	return expDef{
+		id: "fig6", paper: "Fig. 6 (contribution similarity by FC level)",
+		needs:  specsFor([]string{"Desk", "Desk2"}, VarBaseline),
+		render: (*Suite).Fig6,
+	}
+}
+
+func expFig22() Experiment {
+	return expDef{
+		id: "fig22", paper: "Fig. 22 (FC distribution)",
+		needs:  seqSpecs(scene.TUMNames()),
+		render: (*Suite).Fig22,
+	}
+}
+
 // Fig3 reproduces Fig. 3: baseline execution-time split between tracking and
 // mapping per frame (GPU model on the baseline trace).
-func (s *Suite) Fig3() error {
+func (s *Suite) Fig3(w io.Writer) error {
 	t := NewTable("Fig. 3: Baseline time per frame, tracking vs mapping (A100 model, ms)",
 		"Sequence", "Tracking", "Mapping", "Tracking share %")
 	names := scene.TUMNames()
 	var shares []float64
 	for _, name := range names {
-		b, err := s.Run(name, VarBaseline, "", nil)
+		b, err := s.Run(Spec(name, VarBaseline))
 		if err != nil {
 			return err
 		}
@@ -34,7 +76,7 @@ func (s *Suite) Fig3() error {
 	}
 	t.AddRow("Mean", "", "", mean/float64(len(shares)))
 	t.AddNote("paper: tracking consumes 83%% of baseline time")
-	t.Write(s.Out)
+	t.Write(w)
 	return nil
 }
 
@@ -42,8 +84,8 @@ func (s *Suite) Fig3() error {
 // split by frame covisibility. For each frame of the Desk baseline run we
 // re-track from the same initialization with reduced iteration budgets and
 // report accuracy relative to the full budget.
-func (s *Suite) Fig4() error {
-	b := s.MustRun("Desk", VarBaseline, "", nil)
+func (s *Suite) Fig4(w io.Writer) error {
+	b := s.MustRun(Spec("Desk", VarBaseline))
 	seq := b.Seq
 	det := covis.NewDetector()
 	ref := tracker.NewGSRefiner()
@@ -106,19 +148,19 @@ func (s *Suite) Fig4() error {
 		t.AddRow(iters, accHigh/maxf(nHigh, 1), accLow/maxf(nLow, 1))
 	}
 	t.AddNote("paper: low-FC frames lose up to 6.7%% accuracy; high-FC frames barely degrade")
-	t.Write(s.Out)
+	t.Write(w)
 	return nil
 }
 
 // Fig5 reproduces Fig. 5: the fraction of Gaussians in the Gaussian tables
 // that contribute to no pixel.
-func (s *Suite) Fig5() error {
+func (s *Suite) Fig5(w io.Writer) error {
 	t := NewTable("Fig. 5: Gaussian contribution during rendering (%)",
 		"Sequence", "Non-contributory", "Contributory")
 	names := scene.TUMNames()
 	var fracs []float64
 	for _, name := range names {
-		b, err := s.Run(name, VarBaseline, "", nil)
+		b, err := s.Run(Spec(name, VarBaseline))
 		if err != nil {
 			return err
 		}
@@ -139,20 +181,20 @@ func (s *Suite) Fig5() error {
 	}
 	t.AddRow("Mean", mean/float64(len(fracs)), 100-mean/float64(len(fracs)))
 	t.AddNote("paper: 85.1%% of table-assigned Gaussians do not affect any pixel")
-	t.Write(s.Out)
+	t.Write(w)
 	return nil
 }
 
 // Fig6 reproduces Fig. 6: how similar the non-contributory sets of adjacent
 // frames are, grouped by covisibility level.
-func (s *Suite) Fig6() error {
+func (s *Suite) Fig6(w io.Writer) error {
 	t := NewTable("Fig. 6: Contribution similarity between adjacent frames (%) by FC level",
 		"Level", "Desk", "Desk2")
 	det := covis.NewDetector()
 	type acc struct{ sum, n float64 }
 	sims := map[string]map[covis.Level]*acc{}
 	for _, name := range []string{"Desk", "Desk2"} {
-		b, err := s.Run(name, VarBaseline, "", nil)
+		b, err := s.Run(Spec(name, VarBaseline))
 		if err != nil {
 			return err
 		}
@@ -200,13 +242,13 @@ func (s *Suite) Fig6() error {
 		t.AddRow(row...)
 	}
 	t.AddNote("paper: level-5 FC keeps >80%% of non-contributory Gaussians unchanged")
-	t.Write(s.Out)
+	t.Write(w)
 	return nil
 }
 
 // Fig22 reproduces Fig. 22: the distribution of adjacent-frame covisibility
 // bands per sequence (the headroom AGS exploits).
-func (s *Suite) Fig22() error {
+func (s *Suite) Fig22(w io.Writer) error {
 	t := NewTable("Fig. 22: Adjacent-frame covisibility distribution (%)",
 		"Sequence", "High", "Medium", "Low")
 	det := covis.NewDetector()
@@ -235,7 +277,7 @@ func (s *Suite) Fig22() error {
 	}
 	t.AddRow("Mean high", mean/float64(len(highShare)), "", "")
 	t.AddNote("paper: 63.8%% of adjacent frames exhibit high covisibility")
-	t.Write(s.Out)
+	t.Write(w)
 	return nil
 }
 

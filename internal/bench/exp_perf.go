@@ -2,6 +2,7 @@ package bench
 
 import (
 	"fmt"
+	"io"
 
 	"ags/internal/hw/area"
 	"ags/internal/hw/platform"
@@ -9,10 +10,65 @@ import (
 	"ags/internal/scene"
 )
 
+func expFig15a() Experiment {
+	return expDef{
+		id: "fig15a", paper: "Fig. 15a (server speedup)",
+		needs:  specsFor(scene.Names(), VarBaseline, VarAGS),
+		render: func(s *Suite, w io.Writer) error { return s.Fig15(w, true) },
+	}
+}
+
+func expFig15b() Experiment {
+	return expDef{
+		id: "fig15b", paper: "Fig. 15b (edge speedup)",
+		needs:  specsFor(scene.Names(), VarBaseline, VarAGS),
+		render: func(s *Suite, w io.Writer) error { return s.Fig15(w, false) },
+	}
+}
+
+func expTable3() Experiment {
+	return expDef{
+		id: "table3", paper: "Table 3 (area)",
+		render: (*Suite).Table3,
+	}
+}
+
+func expFig16() Experiment {
+	return expDef{
+		id: "fig16", paper: "Fig. 16 (energy efficiency)",
+		needs:  specsFor(scene.Names(), VarBaseline, VarAGS),
+		render: (*Suite).Fig16,
+	}
+}
+
+func expFig17() Experiment {
+	return expDef{
+		id: "fig17", paper: "Fig. 17 (per-task speedup)",
+		needs:  specsFor(scene.TUMNames(), VarBaseline, VarAGS),
+		render: (*Suite).Fig17,
+	}
+}
+
+func expFig18() Experiment {
+	return expDef{
+		id: "fig18", paper: "Fig. 18 (contribution ladder)",
+		needs:  specsFor(scene.TUMNames(), VarBaseline, VarMATOnly, VarAGS),
+		render: (*Suite).Fig18,
+	}
+}
+
+func expFig23() Experiment {
+	return expDef{
+		id: "fig23", paper: "Fig. 23 (Gaussian-SLAM generality)",
+		needs:  specsFor(scene.TUMNames(), VarGSLAMBase, VarGSLAMAGS),
+		render: (*Suite).Fig23,
+	}
+}
+
 // Fig15 reproduces Fig. 15: end-to-end speedup of AGS over the GPUs and
 // GSCore. server=true gives Fig. 15(a) (A100 class), false gives Fig. 15(b)
 // (Xavier class). Results are normalized to the GPU, as in the paper.
-func (s *Suite) Fig15(server bool) error {
+func (s *Suite) Fig15(w io.Writer, server bool) error {
 	var gpu platform.Platform
 	var gsc platform.Platform
 	var agsHW platform.Platform
@@ -27,11 +83,11 @@ func (s *Suite) Fig15(server bool) error {
 	t := NewTable(title, "Sequence", "GPU", "GSCore", "AGS")
 	var gscAll, agsAll []float64
 	for _, name := range scene.Names() {
-		base, err := s.Run(name, VarBaseline, "", nil)
+		base, err := s.Run(Spec(name, VarBaseline))
 		if err != nil {
 			return err
 		}
-		ags, err := s.Run(name, VarAGS, "", nil)
+		ags, err := s.Run(Spec(name, VarAGS))
 		if err != nil {
 			return err
 		}
@@ -50,12 +106,12 @@ func (s *Suite) Fig15(server bool) error {
 	} else {
 		t.AddNote("paper geomeans: AGS-Edge 17.12x over Xavier, 14.63x over GSCore-Edge")
 	}
-	t.Write(s.Out)
+	t.Write(w)
 	return nil
 }
 
 // Table3 reproduces Table 3: the AGS area breakdown.
-func (s *Suite) Table3() error {
+func (s *Suite) Table3(w io.Writer) error {
 	t := NewTable("Table 3: Area of AGS (mm^2, 28nm)",
 		"Engine", "Component", "Edge", "Server")
 	edge := area.Breakdown(area.Edge())
@@ -66,21 +122,21 @@ func (s *Suite) Table3() error {
 	}
 	t.AddRow("Total", "", fmt.Sprintf("%.2f", area.Total(area.Edge())), fmt.Sprintf("%.2f", area.Total(area.Server())))
 	t.AddNote("paper totals: 7.25 (Edge) / 14.38 (Server) mm^2")
-	t.Write(s.Out)
+	t.Write(w)
 	return nil
 }
 
 // Fig16 reproduces Fig. 16: energy efficiency of AGS relative to the GPUs.
-func (s *Suite) Fig16() error {
+func (s *Suite) Fig16(w io.Writer) error {
 	t := NewTable("Fig. 16: Energy efficiency (GPU energy / AGS energy)",
 		"Sequence", "AGS-Server vs A100", "AGS-Edge vs Xavier")
 	var srv, edg []float64
 	for _, name := range scene.Names() {
-		base, err := s.Run(name, VarBaseline, "", nil)
+		base, err := s.Run(Spec(name, VarBaseline))
 		if err != nil {
 			return err
 		}
-		ags, err := s.Run(name, VarAGS, "", nil)
+		ags, err := s.Run(Spec(name, VarAGS))
 		if err != nil {
 			return err
 		}
@@ -96,22 +152,22 @@ func (s *Suite) Fig16() error {
 	}
 	t.AddRow("GeoMean", metrics.GeoMean(srv), metrics.GeoMean(edg))
 	t.AddNote("paper: 22.58x (Server vs A100), 42.28x (Edge vs Xavier)")
-	t.Write(s.Out)
+	t.Write(w)
 	return nil
 }
 
 // Fig17 reproduces Fig. 17: per-task speedup of AGS over the GPU for
 // tracking and mapping separately.
-func (s *Suite) Fig17() error {
+func (s *Suite) Fig17(w io.Writer) error {
 	t := NewTable("Fig. 17: Per-task speedup of AGS over GPU",
 		"Sequence", "Tracking (Server)", "Tracking (Edge)", "Mapping (Server)", "Mapping (Edge)")
 	var tS, tE, mS, mE []float64
 	for _, name := range scene.TUMNames() {
-		base, err := s.Run(name, VarBaseline, "", nil)
+		base, err := s.Run(Spec(name, VarBaseline))
 		if err != nil {
 			return err
 		}
-		ags, err := s.Run(name, VarAGS, "", nil)
+		ags, err := s.Run(Spec(name, VarAGS))
 		if err != nil {
 			return err
 		}
@@ -130,26 +186,26 @@ func (s *Suite) Fig17() error {
 	}
 	t.AddRow("GeoMean", metrics.GeoMean(tS), metrics.GeoMean(tE), metrics.GeoMean(mS), metrics.GeoMean(mE))
 	t.AddNote("paper: tracking speedup exceeds mapping speedup; edge exceeds server")
-	t.Write(s.Out)
+	t.Write(w)
 	return nil
 }
 
 // Fig18 reproduces Fig. 18: the algorithm/architecture contribution ladder —
 // GPU-Base, GPU-AGS, AGS-MAT, AGS-MAT+GCM, AGS-Full (normalized to GPU-Base).
-func (s *Suite) Fig18() error {
+func (s *Suite) Fig18(w io.Writer) error {
 	t := NewTable("Fig. 18: Contribution analysis (speedup over GPU-Base, A100 class)",
 		"Sequence", "GPU-Base", "GPU-AGS", "AGS-MAT", "AGS-MAT+GCM", "AGS-Full")
 	var c1, c2, c3, c4 []float64
 	for _, name := range scene.TUMNames() {
-		base, err := s.Run(name, VarBaseline, "", nil)
+		base, err := s.Run(Spec(name, VarBaseline))
 		if err != nil {
 			return err
 		}
-		mat, err := s.Run(name, VarMATOnly, "", nil)
+		mat, err := s.Run(Spec(name, VarMATOnly))
 		if err != nil {
 			return err
 		}
-		full, err := s.Run(name, VarAGS, "", nil)
+		full, err := s.Run(Spec(name, VarAGS))
 		if err != nil {
 			return err
 		}
@@ -170,21 +226,21 @@ func (s *Suite) Fig18() error {
 	}
 	t.AddRow("GeoMean", 1.0, metrics.GeoMean(c1), metrics.GeoMean(c2), metrics.GeoMean(c3), metrics.GeoMean(c4))
 	t.AddNote("paper ladder: 1.0 -> 1.12 -> 2.81 -> 3.99 -> 7.14 (geomean, multiplicative steps 1.12/2.51/1.42/1.79)")
-	t.Write(s.Out)
+	t.Write(w)
 	return nil
 }
 
 // Fig23 reproduces Fig. 23: AGS generality on the Gaussian-SLAM backbone.
-func (s *Suite) Fig23() error {
+func (s *Suite) Fig23(w io.Writer) error {
 	t := NewTable("Fig. 23: AGS on the Gaussian-SLAM backbone (speedup over GPU-Server)",
 		"Sequence", "GPU-Server", "AGS-Server")
 	var sp []float64
 	for _, name := range scene.TUMNames() {
-		base, err := s.Run(name, VarGSLAMBase, "", nil)
+		base, err := s.Run(Spec(name, VarGSLAMBase))
 		if err != nil {
 			return err
 		}
-		ags, err := s.Run(name, VarGSLAMAGS, "", nil)
+		ags, err := s.Run(Spec(name, VarGSLAMAGS))
 		if err != nil {
 			return err
 		}
@@ -196,6 +252,6 @@ func (s *Suite) Fig23() error {
 	}
 	t.AddRow("GeoMean", 1.0, metrics.GeoMean(sp))
 	t.AddNote("paper: 5.11x geomean speedup on Gaussian-SLAM")
-	t.Write(s.Out)
+	t.Write(w)
 	return nil
 }

@@ -2,6 +2,7 @@ package bench
 
 import (
 	"fmt"
+	"io"
 	"runtime"
 	"time"
 
@@ -9,14 +10,23 @@ import (
 	"ags/internal/splat"
 )
 
+func expPerfRender() Experiment {
+	return expDef{
+		id: "perf-render", paper: "Perf: serial vs deterministically sharded splat render+backward",
+		needs:  []RunSpec{Spec("Desk", VarBaseline)},
+		render: (*Suite).PerfRender,
+	}
+}
+
 // PerfRender is the perf experiment behind deterministic tile-sharded
 // rendering: it times the forward and backward splat passes serial vs sharded
 // on a mapped cloud and asserts that every worker count reproduces the serial
 // output bit for bit (images, workload counters, contribution log, and all
 // gradient buffers) — the property that lets every A/B experiment in the
-// suite run fully parallel.
-func (s *Suite) PerfRender() error {
-	b, err := s.Run("Desk", VarBaseline, "", nil)
+// suite run fully parallel. It also reports the backward pass's allocations
+// per call with and without the pooled gradient arena.
+func (s *Suite) PerfRender(w io.Writer) error {
+	b, err := s.Run(Spec("Desk", VarBaseline))
 	if err != nil {
 		return err
 	}
@@ -82,6 +92,37 @@ func (s *Suite) PerfRender() error {
 		t.AddRow(sm.workers, ms(sm.renderT), ms(sm.backT), float64(serialTotal)/float64(total))
 	}
 	t.AddNote("all worker counts verified byte-identical to serial (images, counters, gradients)")
-	t.Write(s.Out)
+
+	// Gradient-arena A/B: the pooled partial buffers must change allocation
+	// count only, never the gradients (ROADMAP: mapping-loop GC pressure).
+	res := splat.Render(cloud, cam, splat.Options{Workers: 1, LogContribution: true, ThreshAlpha: 1.0 / 255})
+	allocs := func(noPool bool) (float64, [32]byte, error) {
+		bopts := splat.BackwardOptions{GaussianGrads: true, PoseGrads: true, Workers: 1, NoPool: noPool}
+		g := splat.Backward(cloud, cam, res, target, lc, bopts) // warm-up / pool prime
+		digest := g.Digest()
+		var m0, m1 runtime.MemStats
+		runtime.ReadMemStats(&m0)
+		for r := 0; r < reps; r++ {
+			g = splat.Backward(cloud, cam, res, target, lc, bopts)
+		}
+		runtime.ReadMemStats(&m1)
+		if g.Digest() != digest {
+			return 0, digest, fmt.Errorf("bench: backward gradients (noPool=%v) changed across repeats", noPool)
+		}
+		return float64(m1.Mallocs-m0.Mallocs) / reps, digest, nil
+	}
+	pooledAllocs, pooledDigest, err := allocs(false)
+	if err != nil {
+		return err
+	}
+	rawAllocs, rawDigest, err := allocs(true)
+	if err != nil {
+		return err
+	}
+	if pooledDigest != rawDigest {
+		return fmt.Errorf("bench: pooled backward diverged from unpooled gradients")
+	}
+	t.AddNote("backward allocs/op (workers=1): %.0f pooled arena vs %.0f unpooled — gradients verified bitwise identical", pooledAllocs, rawAllocs)
+	t.Write(w)
 	return nil
 }

@@ -2,69 +2,108 @@ package bench
 
 import (
 	"fmt"
+	"io"
 	"sort"
 )
 
-// Experiment is one regenerable paper artifact.
-type Experiment struct {
-	ID    string
-	Paper string
-	Run   func(*Suite) error
+// Experiment is one regenerable paper artifact, declared as a value: its
+// identity, the RunSpecs it consumes, and a renderer over the warmed cache.
+type Experiment interface {
+	// ID is the stable short name used by ags-bench -exp.
+	ID() string
+	// Paper names the table/figure the experiment reproduces.
+	Paper() string
+	// Needs declares every (sequence, variant, key, override) bundle Render
+	// will consume, so the batch scheduler can execute the union across
+	// experiments before any rendering starts. Dataset-only specs declare
+	// sequences an experiment reads without running the pipeline.
+	Needs() []RunSpec
+	// Render writes the experiment's text artifact to w. All bundle access
+	// goes through Suite.Run with the same specs Needs declared, so in batch
+	// mode it only ever hits the warmed cache.
+	Render(s *Suite, w io.Writer) error
+}
+
+// def is the declarative experiment value behind the registry: two strings,
+// a spec list, and a render function. Each exp_*.go file builds its
+// experiments with it next to their render methods.
+type expDef struct {
+	id     string
+	paper  string
+	needs  []RunSpec
+	render func(*Suite, io.Writer) error
+}
+
+func (d expDef) ID() string                         { return d.id }
+func (d expDef) Paper() string                      { return d.paper }
+func (d expDef) Needs() []RunSpec                   { return append([]RunSpec(nil), d.needs...) }
+func (d expDef) Render(s *Suite, w io.Writer) error { return d.render(s, w) }
+
+// specsFor is the cross product sequences x variants with empty keys — the
+// shape of most experiments' needs.
+func specsFor(seqs []string, variants ...Variant) []RunSpec {
+	out := make([]RunSpec, 0, len(seqs)*len(variants))
+	for _, v := range variants {
+		for _, name := range seqs {
+			out = append(out, Spec(name, v))
+		}
+	}
+	return out
+}
+
+// seqSpecs declares dataset-only needs for experiments that read frames
+// without running the pipeline.
+func seqSpecs(seqs []string) []RunSpec {
+	out := make([]RunSpec, 0, len(seqs))
+	for _, name := range seqs {
+		out = append(out, SeqSpec(name))
+	}
+	return out
 }
 
 // Experiments returns the registry of all reproducible tables and figures in
 // the order the paper presents them.
 func Experiments() []Experiment {
 	return []Experiment{
-		{"table1", "Table 1 (category comparison)", (*Suite).Table1},
-		{"fig3", "Fig. 3 (tracking vs mapping time)", (*Suite).Fig3},
-		{"fig4", "Fig. 4 (accuracy vs iterations by FC)", (*Suite).Fig4},
-		{"fig5", "Fig. 5 (non-contributory Gaussians)", (*Suite).Fig5},
-		{"fig6", "Fig. 6 (contribution similarity by FC level)", (*Suite).Fig6},
-		{"table2", "Table 2 (ATE RMSE)", (*Suite).Table2},
-		{"fig14", "Fig. 14 (PSNR)", (*Suite).Fig14},
-		{"fp", "§6.2 (false-positive rate)", (*Suite).FPRate},
-		{"fig15a", "Fig. 15a (server speedup)", func(s *Suite) error { return s.Fig15(true) }},
-		{"fig15b", "Fig. 15b (edge speedup)", func(s *Suite) error { return s.Fig15(false) }},
-		{"table3", "Table 3 (area)", (*Suite).Table3},
-		{"fig16", "Fig. 16 (energy efficiency)", (*Suite).Fig16},
-		{"fig17", "Fig. 17 (per-task speedup)", (*Suite).Fig17},
-		{"fig18", "Fig. 18 (contribution ladder)", (*Suite).Fig18},
-		{"table4", "Table 4 (Droid+SplaTAM)", (*Suite).Table4},
-		{"fig19", "Fig. 19 (Iter_T sensitivity)", (*Suite).Fig19},
-		{"fig20", "Fig. 20 (Thresh_M sensitivity)", (*Suite).Fig20},
-		{"fig21", "Fig. 21 (Thresh_N sensitivity)", (*Suite).Fig21},
-		{"fig22", "Fig. 22 (FC distribution)", (*Suite).Fig22},
-		{"fig23", "Fig. 23 (Gaussian-SLAM generality)", (*Suite).Fig23},
-		{"abl-codec", "Extra: ME search ablation", (*Suite).AblCodec},
-		{"abl-tables", "Extra: logging-buffer capacity sweep", (*Suite).AblTables},
-		{"abl-overlap", "Extra: pipelining/scheduler split", (*Suite).AblOverlap},
-		{"perf-me", "Perf: serial vs parallel vs pipelined CODEC ME", (*Suite).PerfME},
-		{"perf-render", "Perf: serial vs deterministically sharded splat render+backward", (*Suite).PerfRender},
+		expTable1(),
+		expFig3(),
+		expFig4(),
+		expFig5(),
+		expFig6(),
+		expTable2(),
+		expFig14(),
+		expFPRate(),
+		expFig15a(),
+		expFig15b(),
+		expTable3(),
+		expFig16(),
+		expFig17(),
+		expFig18(),
+		expTable4(),
+		expFig19(),
+		expFig20(),
+		expFig21(),
+		expFig22(),
+		expFig23(),
+		expAblCodec(),
+		expAblTables(),
+		expAblOverlap(),
+		expPerfME(),
+		expPerfRender(),
 	}
 }
 
 // Find returns the experiment with the given ID.
 func Find(id string) (Experiment, error) {
 	for _, e := range Experiments() {
-		if e.ID == id {
+		if e.ID() == id {
 			return e, nil
 		}
 	}
 	ids := make([]string, 0)
 	for _, e := range Experiments() {
-		ids = append(ids, e.ID)
+		ids = append(ids, e.ID())
 	}
 	sort.Strings(ids)
-	return Experiment{}, fmt.Errorf("bench: unknown experiment %q (known: %v)", id, ids)
-}
-
-// RunAll executes every experiment in paper order.
-func RunAll(s *Suite) error {
-	for _, e := range Experiments() {
-		if err := e.Run(s); err != nil {
-			return fmt.Errorf("%s: %w", e.ID, err)
-		}
-	}
-	return nil
+	return nil, fmt.Errorf("bench: unknown experiment %q (known: %v)", id, ids)
 }

@@ -1,0 +1,151 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// PlanSpecs returns the deduplicated union of the selected experiments'
+// RunSpecs in first-appearance order. Dataset-only specs whose sequence is
+// already implied by a pipeline spec are dropped (the run generates the
+// dataset anyway), so the plan is exactly the set of distinct executions the
+// warm phase performs.
+func PlanSpecs(exps []Experiment) []RunSpec {
+	var plan []RunSpec
+	seen := make(map[string]bool)
+	seqCovered := make(map[string]bool)
+	for _, e := range exps {
+		for _, spec := range e.Needs() {
+			if seen[spec.ID()] {
+				continue
+			}
+			seen[spec.ID()] = true
+			if !spec.DatasetOnly() {
+				seqCovered[spec.Seq] = true
+			}
+			plan = append(plan, spec)
+		}
+	}
+	out := plan[:0]
+	for _, spec := range plan {
+		if spec.DatasetOnly() && seqCovered[spec.Seq] {
+			continue
+		}
+		out = append(out, spec)
+	}
+	return out
+}
+
+// RunReport records one pipeline execution of the warm phase.
+type RunReport struct {
+	ID       string  `json:"id"`
+	Sequence string  `json:"sequence"`
+	Variant  string  `json:"variant,omitempty"`
+	Key      string  `json:"key,omitempty"`
+	WallMS   float64 `json:"wall_ms"`
+	// Cached marks specs the suite had already executed before this batch
+	// (their WallMS is the original execution's, not this batch's).
+	Cached bool `json:"cached,omitempty"`
+}
+
+// ExperimentReport records one rendered experiment.
+type ExperimentReport struct {
+	ID       string  `json:"id"`
+	Paper    string  `json:"paper"`
+	RenderMS float64 `json:"render_ms"`
+}
+
+// Report is the machine-readable result of a batch: per-run and
+// per-experiment wall times plus phase totals, so the suite's performance
+// trajectory can be recorded across commits.
+type Report struct {
+	Jobs        int                `json:"jobs"`
+	Specs       int                `json:"specs"`
+	Runs        []RunReport        `json:"runs"`
+	Experiments []ExperimentReport `json:"experiments"`
+	WarmMS      float64            `json:"warm_ms"`
+	RenderMS    float64            `json:"render_ms"`
+	TotalMS     float64            `json:"total_ms"`
+}
+
+// RunBatch materializes every spec the selected experiments need across a
+// bounded pool of jobs workers (jobs <= 0 means GOMAXPROCS), then renders
+// each experiment to out in the given order. Spec execution is deduplicated
+// by the suite's singleflight cache; rendering is strictly sequential, so
+// out receives byte-identical text for every jobs value. On a failing spec
+// the batch stops before rendering and returns the plan-order-first error.
+func RunBatch(s *Suite, exps []Experiment, jobs int, out io.Writer) (*Report, error) {
+	if jobs <= 0 {
+		jobs = runtime.GOMAXPROCS(0)
+	}
+	plan := PlanSpecs(exps)
+	pre := s.Timings()
+	start := time.Now()
+
+	errs := make([]error, len(plan))
+	sem := make(chan struct{}, jobs)
+	var wg sync.WaitGroup
+	var failed atomic.Bool
+	for i, spec := range plan {
+		sem <- struct{}{} // bounds concurrency; jobs=1 degenerates to serial plan order
+		if failed.Load() {
+			// A spec already failed: stop launching pipelines (each costs
+			// seconds to minutes); in-flight ones drain below.
+			<-sem
+			break
+		}
+		wg.Add(1)
+		go func(i int, spec RunSpec) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			if errs[i] = s.warm(spec); errs[i] != nil {
+				failed.Store(true)
+			}
+		}(i, spec)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	warm := time.Since(start)
+
+	rep := &Report{Jobs: jobs, Specs: len(plan)}
+	times := s.Timings()
+	for _, spec := range plan {
+		if spec.DatasetOnly() {
+			continue
+		}
+		_, cached := pre[spec.ID()]
+		rep.Runs = append(rep.Runs, RunReport{
+			ID:       spec.ID(),
+			Sequence: spec.Seq,
+			Variant:  string(spec.Variant),
+			Key:      spec.Key,
+			WallMS:   ms(times[spec.ID()]),
+			Cached:   cached,
+		})
+	}
+
+	renderStart := time.Now()
+	for _, e := range exps {
+		estart := time.Now()
+		if err := e.Render(s, out); err != nil {
+			return nil, fmt.Errorf("%s: %w", e.ID(), err)
+		}
+		rep.Experiments = append(rep.Experiments, ExperimentReport{
+			ID: e.ID(), Paper: e.Paper(), RenderMS: ms(time.Since(estart)),
+		})
+	}
+	rep.WarmMS = ms(warm)
+	rep.RenderMS = ms(time.Since(renderStart))
+	rep.TotalMS = ms(time.Since(start))
+	return rep, nil
+}
+
+func ms(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e6 }

@@ -7,6 +7,8 @@
 package engines
 
 import (
+	"sort"
+
 	"ags/internal/hw/dram"
 )
 
@@ -68,11 +70,28 @@ func SimulateLogging(tiles [][]int32, p TableParams, spec dram.Spec) LoggingResu
 				freq[id]++
 			}
 		}
-		hot := make(map[int32]bool, p.HotEntries)
+		// When more Gaussians qualify than fit, keep the most frequent
+		// (ties broken by id). The ordering is total, so the model — which
+		// feeds the platform timing of every speedup table — is a pure
+		// function of the trace rather than of map iteration order.
+		cands := make([]int32, 0, len(freq))
 		for id, f := range freq {
-			if f >= 2 && len(hot) < p.HotEntries {
-				hot[id] = true
+			if f >= 2 {
+				cands = append(cands, id)
 			}
+		}
+		sort.Slice(cands, func(i, j int) bool {
+			if freq[cands[i]] != freq[cands[j]] {
+				return freq[cands[i]] > freq[cands[j]]
+			}
+			return cands[i] < cands[j]
+		})
+		if len(cands) > p.HotEntries {
+			cands = cands[:p.HotEntries]
+		}
+		hot := make(map[int32]bool, len(cands))
+		for _, id := range cands {
+			hot[id] = true
 		}
 		for ti := start; ti < end; ti++ {
 			seen := make(map[int32]bool)
@@ -96,8 +115,11 @@ func SimulateLogging(tiles [][]int32, p TableParams, spec dram.Spec) LoggingResu
 				res.OptAccesses += 2
 			}
 		}
-		// Hot records are flushed once per window.
-		for id := range hot {
+		// Hot records are flushed once per window, in ascending id (address)
+		// order: the DRAM model's row-buffer hits depend on access order, so
+		// the flush sequence must be deterministic too.
+		sort.Slice(cands, func(i, j int) bool { return cands[i] < cands[j] })
+		for _, id := range cands {
 			addr := uint64(id) * uint64(p.EntryBytes)
 			res.OptNs += opt.Access(addr, p.EntryBytes)
 			res.OptAccesses++

@@ -75,6 +75,22 @@ func TestLoggingBufferCapacityBounds(t *testing.T) {
 	}
 }
 
+// TestLoggingDeterministicUnderCapacityPressure: when more Gaussians qualify
+// as hot than fit, the selection and flush order must be a pure function of
+// the trace — map iteration order used to leak into OptAccesses/OptNs and
+// made every speedup table differ between identical invocations.
+func TestLoggingDeterministicUnderCapacityPressure(t *testing.T) {
+	tiles := syntheticTiles(8, 500, 3, 5)
+	p := TableParams{HotEntries: 64, EntryBytes: 8, HotWindowTiles: 4}
+	ref := SimulateLogging(tiles, p, dram.LPDDR4())
+	for i := 0; i < 10; i++ {
+		got := SimulateLogging(tiles, p, dram.LPDDR4())
+		if got != ref {
+			t.Fatalf("run %d diverged: %+v vs %+v", i, got, ref)
+		}
+	}
+}
+
 func TestSkippingStreamBeatsPerTileFetch(t *testing.T) {
 	tiles := syntheticTiles(16, 30, 5, 4)
 	p := DefaultTableParams(false)

@@ -108,11 +108,11 @@ type Config struct {
 
 // DefaultConfig returns the paper's hyper-parameters scaled to the given
 // frame size (see DESIGN.md): N_T 200→60, N_M 30→15, Iter_T 20→6,
-// Thresh_T 90%, Thresh_M 50%, Thresh_alpha 1/255, Thresh_N 450 at 640x480
-// scaled by pixel count.
+// Thresh_T 90%, Thresh_M 50%, Thresh_alpha 1/255, Thresh_N 450
+// (resolution-independent; see scaleThreshN).
 func DefaultConfig(w, h int) Config {
 	mc := mapper.DefaultConfig()
-	mc.ThreshN = scaleThreshN(450, w, h) // paper value; see scaleThreshN
+	mc.ThreshN = scaleThreshN(450) // paper value; see scaleThreshN
 	return Config{
 		TrackIters:    60,
 		IterT:         6,
@@ -137,7 +137,9 @@ func AGSConfig(w, h int) Config {
 // non-contributory count of a Gaussian is bounded by its tile footprint
 // (tiles x 256 pixels), which does not scale with image size, so the paper's
 // value carries over directly; only a floor is applied for tiny test frames.
-func scaleThreshN(paperVal, w, h int) int {
+// It deliberately takes no frame dimensions: the threshold is
+// resolution-independent.
+func scaleThreshN(paperVal int) int {
 	if paperVal < 2 {
 		return 2
 	}

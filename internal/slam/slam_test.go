@@ -233,14 +233,17 @@ func TestGaussianSLAMBackboneDoesMoreMapping(t *testing.T) {
 
 func TestScaleThreshN(t *testing.T) {
 	// Thresh_N counts per-Gaussian wasted pixels, which are bounded by the
-	// tile footprint and independent of image resolution.
-	if got := scaleThreshN(450, 640, 480); got != 450 {
-		t.Errorf("full-res ThreshN = %d", got)
+	// tile footprint and independent of image resolution, so the paper value
+	// passes through unscaled at every frame size.
+	if got := scaleThreshN(450); got != 450 {
+		t.Errorf("paper ThreshN = %d", got)
 	}
-	if got := scaleThreshN(450, 96, 72); got != 450 {
-		t.Errorf("small-res ThreshN = %d", got)
-	}
-	if got := scaleThreshN(0, 8, 8); got < 2 {
+	if got := scaleThreshN(0); got < 2 {
 		t.Errorf("floor ThreshN = %d", got)
+	}
+	for _, dims := range [][2]int{{640, 480}, {96, 72}, {8, 8}} {
+		if got := DefaultConfig(dims[0], dims[1]).Mapper.ThreshN; got != 450 {
+			t.Errorf("DefaultConfig(%dx%d).Mapper.ThreshN = %d, want 450", dims[0], dims[1], got)
+		}
 	}
 }

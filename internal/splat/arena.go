@@ -1,0 +1,69 @@
+package splat
+
+import (
+	"sync"
+
+	"ags/internal/vecmath"
+)
+
+// backwardArena holds Backward's per-call partial-reduction buffers: the
+// tile-table offsets, per-tile loss/pose partials, and (for Gaussian
+// gradients) the flat per-tile-entry gradient slots. Deterministic sharding
+// sizes these O(TotalEntries) per call, which dominates the mapping loop's
+// allocation rate at experiment scale (ROADMAP), so calls recycle arenas
+// through a sync.Pool. Buffers are re-zeroed on acquisition, never lazily —
+// the merge order is what guarantees bitwise determinism, and a dirty
+// buffer would break it silently.
+type backwardArena struct {
+	offsets    []int
+	lossByTile []float64
+	poseByTile []vecmath.Twist
+	mean       []vecmath.Vec3
+	color      []vecmath.Vec3
+	logit      []float64
+	logScale   []float64
+}
+
+var backwardArenas = sync.Pool{New: func() any { return &backwardArena{} }}
+
+// zeroed returns s resized to n with every element cleared, reusing its
+// capacity when possible.
+func zeroed[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	s = s[:n]
+	clear(s)
+	return s
+}
+
+// acquireBackwardArena returns an arena with zeroed buffers for nt tiles and
+// entries total Gaussian-table slots (gradient slots only when gaussian is
+// set). noPool bypasses the pool, allocating fresh — the escape hatch the
+// perf-render experiment uses to A/B allocation counts.
+func acquireBackwardArena(nt, entries int, gaussian, noPool bool) *backwardArena {
+	var a *backwardArena
+	if noPool {
+		a = &backwardArena{}
+	} else {
+		a = backwardArenas.Get().(*backwardArena)
+	}
+	a.offsets = zeroed(a.offsets, nt+1)
+	a.lossByTile = zeroed(a.lossByTile, nt)
+	a.poseByTile = zeroed(a.poseByTile, nt)
+	if gaussian {
+		a.mean = zeroed(a.mean, entries)
+		a.color = zeroed(a.color, entries)
+		a.logit = zeroed(a.logit, entries)
+		a.logScale = zeroed(a.logScale, entries)
+	}
+	return a
+}
+
+// release returns the arena to the pool. Callers must not retain any of its
+// slices past this point.
+func (a *backwardArena) release(noPool bool) {
+	if !noPool {
+		backwardArenas.Put(a)
+	}
+}

@@ -55,6 +55,11 @@ type BackwardOptions struct {
 	GaussianGrads bool // color/opacity/mean/scale (mapping)
 	PoseGrads     bool // camera twist (tracking)
 	Workers       int
+	// NoPool bypasses the pooled gradient arena and allocates the partial
+	// buffers fresh. Gradients are bitwise identical either way; the bench
+	// perf-render experiment uses it to report allocs/op with vs without
+	// pooling.
+	NoPool bool
 }
 
 // contribution is one blending step recorded during the per-pixel forward
@@ -108,21 +113,29 @@ func Backward(cloud *gauss.Cloud, cam camera.Camera, res *Result, target *frame.
 	// Per-tile gradient slots live in flat buffers indexed by the tile's
 	// offset into the concatenated Gaussian tables: entry j of tile t is at
 	// offsets[t]+j. A tile only ever touches Gaussians in its own table, so
-	// this is the sparse footprint of the tile's gradient contribution.
-	offsets := make([]int, nt+1)
+	// this is the sparse footprint of the tile's gradient contribution. The
+	// buffers come from a pooled arena (see arena.go): the entries count is
+	// only known after the offsets pass, so the arena is acquired in two
+	// steps, reusing one allocation across mapping iterations.
+	entries := 0
+	for _, l := range tiles.Lists {
+		entries += len(l)
+	}
+	ar := acquireBackwardArena(nt, entries, opts.GaussianGrads, opts.NoPool)
+	defer ar.release(opts.NoPool)
+	offsets := ar.offsets
 	for i, l := range tiles.Lists {
 		offsets[i+1] = offsets[i] + len(l)
 	}
-	lossByTile := make([]float64, nt)
-	poseByTile := make([]vecmath.Twist, nt)
+	lossByTile := ar.lossByTile
+	poseByTile := ar.poseByTile
 	var meanBuf, colorBuf []vecmath.Vec3
 	var logitBuf, logScaleBuf []float64
 	if opts.GaussianGrads {
-		n := offsets[nt]
-		meanBuf = make([]vecmath.Vec3, n)
-		colorBuf = make([]vecmath.Vec3, n)
-		logitBuf = make([]float64, n)
-		logScaleBuf = make([]float64, n)
+		meanBuf = ar.mean
+		colorBuf = ar.color
+		logitBuf = ar.logit
+		logScaleBuf = ar.logScale
 	}
 
 	var wg sync.WaitGroup
