@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet fmt bench verify determinism bench-batch
+.PHONY: build test race vet fmt bench verify determinism bench-batch profile
 
 build:
 	$(GO) build ./...
@@ -33,10 +33,17 @@ verify: fmt vet
 determinism:
 	$(GO) test -count=2 -run Determinism ./internal/splat/...
 
-# Batch-scheduler smoke: perf-me plus a pipeline experiment through the
-# warm/render scheduler at two jobs, emitting the machine-readable report
-# (CI uploads bench.json so the perf trajectory is recorded). table1 rides
-# along because perf-me alone is dataset-only and would leave the report's
-# per-run wall-time section empty.
+# Batch-scheduler smoke: perf-me, perf-render (which also gates the
+# contexted-vs-one-shot digests and allocation ratio) and a pipeline
+# experiment through the warm/render scheduler at two jobs, emitting the
+# machine-readable report (CI uploads bench.json so the perf trajectory is
+# recorded). table1 rides along because perf-me alone is dataset-only and
+# would leave the report's per-run wall-time section empty.
 bench-batch:
-	$(GO) run ./cmd/ags-bench -exp perf-me,table1 -jobs 2 -json bench.json -q
+	$(GO) run ./cmd/ags-bench -exp perf-me,perf-render,table1 -jobs 2 -json bench.json -q
+
+# Profile the splat hot path: runs the perf-render experiment under pprof so
+# perf PRs can attach flame-graph evidence instead of eyeballing wall times.
+# Inspect with: go tool pprof cpu.pprof (or mem.pprof).
+profile:
+	$(GO) run ./cmd/ags-bench -exp perf-render -q -cpuprofile cpu.pprof -memprofile mem.pprof

@@ -100,6 +100,25 @@ func BenchmarkFig3Breakdown(b *testing.B) {
 	}
 }
 
+// BenchmarkFig3BreakdownContexted is BenchmarkFig3Breakdown through a
+// frame-persistent RenderContext — the allocation-free steady state the
+// tracker's refinement loop actually runs (compare allocs/op against the
+// one-shot benchmark above).
+func BenchmarkFig3BreakdownContexted(b *testing.B) {
+	fixtures(b)
+	lc := splat.DefaultTrackingLoss()
+	target := fixSeq.Frames[4]
+	ctx := splat.NewRenderContext()
+	res := ctx.Render(fixCloud, fixCam, splat.Options{Workers: 1})
+	ctx.Backward(fixCloud, fixCam, res, target, lc, splat.BackwardOptions{PoseGrads: true, Workers: 1})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := ctx.Render(fixCloud, fixCam, splat.Options{Workers: 1})
+		ctx.Backward(fixCloud, fixCam, res, target, lc, splat.BackwardOptions{PoseGrads: true, Workers: 1})
+	}
+}
+
 // BenchmarkFig4IterSweep times one fine-grained refinement iteration (the
 // unit Fig. 4 sweeps).
 func BenchmarkFig4IterSweep(b *testing.B) {

@@ -16,6 +16,7 @@
 //	ags-bench -jobs 4          # bounded pipeline-execution concurrency
 //	ags-bench -json bench.json # machine-readable per-run wall-time report
 //	ags-bench -frames 32 -w 96 -h 72   # override individual knobs
+//	ags-bench -exp perf-render -cpuprofile cpu.pprof -memprofile mem.pprof
 package main
 
 import (
@@ -24,6 +25,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -42,6 +44,9 @@ func main() {
 		jobs    = flag.Int("jobs", 0, "concurrent pipeline executions in the batch scheduler (0 = all cores; output is byte-identical for every value)")
 		jsonOut = flag.String("json", "", "write a machine-readable report (per-run wall times) to this path")
 		quiet   = flag.Bool("q", false, "suppress progress lines (stderr)")
+
+		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile of the whole batch to this path")
+		memProfile = flag.String("memprofile", "", "write a pprof heap profile (after the batch) to this path")
 
 		codecWorkers = flag.Int("codec-workers", 0, "ME worker goroutines per frame (0 = serial)")
 		pipelineME   = flag.Bool("pipeline-me", false, "prefetch next frame's ME concurrently with tracking/mapping")
@@ -93,6 +98,28 @@ func main() {
 		}
 	}
 
+	// stopCPUProfile is called explicitly on both the success and error
+	// paths: os.Exit skips defers, and a failing batch is exactly the run
+	// whose profile must not be left unflushed.
+	stopCPUProfile := func() {}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ags-bench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "ags-bench: start cpu profile: %v\n", err)
+			os.Exit(1)
+		}
+		stopCPUProfile = func() {
+			pprof.StopCPUProfile()
+			if err := f.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "ags-bench: close cpu profile: %v\n", err)
+			}
+		}
+	}
+
 	suite := bench.NewSuite(cfg)
 	if !*quiet {
 		suite.Log = os.Stderr
@@ -100,9 +127,27 @@ func main() {
 	start := time.Now()
 
 	report, err := bench.RunBatch(suite, exps, *jobs, os.Stdout)
+	stopCPUProfile()
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "ags-bench: %v\n", err)
 		os.Exit(1)
+	}
+
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ags-bench: %v\n", err)
+			os.Exit(1)
+		}
+		runtime.GC() // materialize the live-heap picture pprof reports
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "ags-bench: write heap profile: %v\n", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "ags-bench: close heap profile: %v\n", err)
+			os.Exit(1)
+		}
 	}
 
 	if *jsonOut != "" {

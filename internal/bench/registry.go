@@ -3,7 +3,7 @@ package bench
 import (
 	"fmt"
 	"io"
-	"sort"
+	"slices"
 )
 
 // Experiment is one regenerable paper artifact, declared as a value: its
@@ -104,6 +104,6 @@ func Find(id string) (Experiment, error) {
 	for _, e := range Experiments() {
 		ids = append(ids, e.ID())
 	}
-	sort.Strings(ids)
+	slices.Sort(ids)
 	return nil, fmt.Errorf("bench: unknown experiment %q (known: %v)", id, ids)
 }

@@ -157,8 +157,8 @@ func meRow(res *Result, st *blockSearch, by int) int64 {
 	st.ops = &ops
 	for bx := 0; bx < res.MBW; bx++ {
 		st.x0, st.y0 = bx*bs, by*bs
-		st.bw = minInt(bs, st.w-st.x0)
-		st.bh = minInt(bs, st.h-st.y0)
+		st.bw = min(bs, st.w-st.x0)
+		st.bh = min(bs, st.h-st.y0)
 		var best uint32
 		var bestMV MotionVector
 		if res.Cfg.ThreeStep {
@@ -211,12 +211,12 @@ func (st *blockSearch) sad(dx, dy int, cutoff uint32) uint32 {
 	var visited int64
 	for y := 0; y < st.bh; y++ {
 		cy := st.y0 + y
-		ry := clampInt(cy+dy, 0, st.h-1)
+		ry := min(max(cy+dy, 0), st.h-1)
 		rowC := cy * st.w
 		rowR := ry * st.w
 		for x := 0; x < st.bw; x++ {
 			cx := st.x0 + x
-			rx := clampInt(cx+dx, 0, st.w-1)
+			rx := min(max(cx+dx, 0), st.w-1)
 			c := int32(st.cur[rowC+cx])
 			r := int32(st.ref[rowR+rx])
 			d := c - r
@@ -329,26 +329,9 @@ func (st *blockSearch) threeStep() (uint32, MotionVector) {
 	return best, MotionVector{cx, cy}
 }
 
-func clampInt(x, lo, hi int) int {
-	if x < lo {
-		return lo
-	}
-	if x > hi {
-		return hi
-	}
-	return x
-}
-
 func absInt(x int) int {
 	if x < 0 {
 		return -x
 	}
 	return x
-}
-
-func minInt(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
 }

@@ -23,8 +23,8 @@ func NewImage(w, h int) *Image {
 
 // At returns the pixel at (x, y). Out-of-bounds coordinates are clamped.
 func (im *Image) At(x, y int) vecmath.Vec3 {
-	x = clampInt(x, 0, im.W-1)
-	y = clampInt(y, 0, im.H-1)
+	x = min(max(x, 0), im.W-1)
+	y = min(max(y, 0), im.H-1)
 	return im.Pix[y*im.W+x]
 }
 
@@ -108,8 +108,8 @@ func NewDepthMap(w, h int) *DepthMap {
 
 // At returns the depth at (x, y) with border clamping.
 func (dm *DepthMap) At(x, y int) float64 {
-	x = clampInt(x, 0, dm.W-1)
-	y = clampInt(y, 0, dm.H-1)
+	x = min(max(x, 0), dm.W-1)
+	y = min(max(y, 0), dm.H-1)
 	return dm.D[y*dm.W+x]
 }
 
@@ -184,14 +184,4 @@ func MeanAbsDiff(a, b *Image) float64 {
 		sum += d.X + d.Y + d.Z
 	}
 	return sum / float64(3*len(a.Pix))
-}
-
-func clampInt(x, lo, hi int) int {
-	if x < lo {
-		return lo
-	}
-	if x > hi {
-		return hi
-	}
-	return x
 }

@@ -84,7 +84,7 @@ func (m *Model) Access(addr uint64, n int) float64 {
 	// Banks overlap: charge only 1/Banks of the latency to the shared
 	// channel once the pipeline is warm. A fixed derating keeps the model
 	// simple and monotone.
-	eff := lat / float64(minInt(m.Spec.Banks, 4))
+	eff := lat / float64(min(m.Spec.Banks, 4))
 	m.busyNs += eff
 	return lat
 }
@@ -131,11 +131,4 @@ func (m *Model) Reset() {
 	}
 	m.accesses, m.hits, m.bytes = 0, 0, 0
 	m.busyNs = 0
-}
-
-func minInt(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
 }

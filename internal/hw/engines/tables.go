@@ -7,7 +7,7 @@
 package engines
 
 import (
-	"sort"
+	"slices"
 
 	"ags/internal/hw/dram"
 )
@@ -80,11 +80,11 @@ func SimulateLogging(tiles [][]int32, p TableParams, spec dram.Spec) LoggingResu
 				cands = append(cands, id)
 			}
 		}
-		sort.Slice(cands, func(i, j int) bool {
-			if freq[cands[i]] != freq[cands[j]] {
-				return freq[cands[i]] > freq[cands[j]]
+		slices.SortFunc(cands, func(a, b int32) int {
+			if freq[a] != freq[b] {
+				return freq[b] - freq[a] // frequency descending
 			}
-			return cands[i] < cands[j]
+			return int(a - b) // id ascending
 		})
 		if len(cands) > p.HotEntries {
 			cands = cands[:p.HotEntries]
@@ -118,7 +118,7 @@ func SimulateLogging(tiles [][]int32, p TableParams, spec dram.Spec) LoggingResu
 		// Hot records are flushed once per window, in ascending id (address)
 		// order: the DRAM model's row-buffer hits depend on access order, so
 		// the flush sequence must be deterministic too.
-		sort.Slice(cands, func(i, j int) bool { return cands[i] < cands[j] })
+		slices.Sort(cands)
 		for _, id := range cands {
 			addr := uint64(id) * uint64(p.EntryBytes)
 			res.OptNs += opt.Access(addr, p.EntryBytes)

@@ -7,6 +7,7 @@ package mapper
 
 import (
 	"math/rand"
+	"slices"
 
 	"ags/internal/camera"
 	"ags/internal/frame"
@@ -83,7 +84,15 @@ type Keyframe struct {
 
 // Mapper owns the Gaussian cloud and its optimizer state.
 type Mapper struct {
-	Cfg   Config
+	Cfg Config
+	// Ctx, when non-nil, is the reusable render context the mapping loop,
+	// densification and FP-rate evaluation render through, making the
+	// MapIters hot path allocation-free (nil falls back to one-shot renders;
+	// outputs are bit-identical either way). Not safe for concurrent use —
+	// a pipeline shares one context across its tracker and mapper because
+	// they run sequentially.
+	Ctx *splat.RenderContext
+
 	cloud *gauss.Cloud
 	opt   *optim.GroupAdam
 	rng   *rand.Rand
@@ -167,7 +176,7 @@ func (m *Mapper) Densify(f *frame.Frame, intr camera.Intrinsics, pose vecmath.Po
 	cam := camera.Camera{Intr: intr, Pose: pose}
 	var res *splat.Result
 	if m.cloud.NumActive() > 0 {
-		res = splat.Render(m.cloud, cam, splat.Options{Workers: m.Cfg.Workers})
+		res = m.Ctx.Render(m.cloud, cam, splat.Options{Workers: m.Cfg.Workers})
 	}
 	inv := pose.Inverse()
 	added := 0
@@ -279,15 +288,17 @@ func (m *Mapper) optimize(f *frame.Frame, intr camera.Intrinsics, pose vecmath.P
 			opts.LogContribution = true
 			opts.ThreshAlpha = m.Cfg.ThreshAlpha
 		}
-		res := splat.Render(m.cloud, cam, opts)
-		grads := splat.Backward(m.cloud, cam, res, tf, loss, splat.BackwardOptions{GaussianGrads: true, Workers: m.Cfg.Workers})
+		res := m.Ctx.Render(m.cloud, cam, opts)
+		grads := m.Ctx.Backward(m.cloud, cam, res, tf, loss, splat.BackwardOptions{GaussianGrads: true, Workers: m.Cfg.Workers})
 		m.applyGrads(grads)
 
 		stats.Accumulate(res.AlphaOps, res.BlendOps, 2*res.BlendOps,
 			int64(len(res.Splats)), int64(res.Tiles.TotalEntries()), int64(intr.W*intr.H))
 		if last {
-			stats.RepPerPixelBlend = res.PerPixelBlend
-			stats.RepPerPixelAlpha = res.PerPixelAlpha
+			// The trace snapshot outlives the mapping loop, while a contexted
+			// res is only valid until the next render — copy, don't alias.
+			stats.RepPerPixelBlend = slices.Clone(res.PerPixelBlend)
+			stats.RepPerPixelAlpha = slices.Clone(res.PerPixelAlpha)
 			stats.RepTileLists = res.TileIDLists()
 			stats.Width, stats.Height = intr.W, intr.H
 			if logContrib {

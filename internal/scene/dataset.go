@@ -3,7 +3,7 @@ package scene
 import (
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 
 	"ags/internal/camera"
 	"ags/internal/frame"
@@ -38,7 +38,7 @@ func Generate(name string, cfg Config) (*Sequence, error) {
 	builder, ok := scripts()[name]
 	if !ok {
 		known := Names()
-		sort.Strings(known)
+		slices.Sort(known)
 		return nil, fmt.Errorf("scene: unknown sequence %q (known: %v)", name, known)
 	}
 	if cfg.Width <= 0 || cfg.Height <= 0 {

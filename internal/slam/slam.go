@@ -88,6 +88,12 @@ type Config struct {
 	// splat pipeline shards tiles deterministically, so every value produces
 	// bit-identical trajectories, maps and traces (see package splat).
 	Workers int
+	// NoRenderCtx disables the system's frame-persistent render context, so
+	// every render/backward in the tracker and mapper allocates one-shot
+	// buffers instead of reusing the context's. Outputs are bit-identical
+	// either way; the knob exists for allocation A/B runs (perf-render,
+	// ags-slam -no-render-ctx).
+	NoRenderCtx bool
 	// EvalFPRate runs an extra contribution-logged render on every non-key
 	// frame to measure the false-positive rate of the skip prediction.
 	EvalFPRate bool
@@ -184,6 +190,12 @@ type System struct {
 	aligner  *tracker.CoarseAligner
 	detector *covis.Detector
 	backbone *nnlite.PoseBackbone
+	// renderCtx is the system's frame-persistent splat render context,
+	// shared by the tracker and mapper (they run sequentially within
+	// ProcessFrame) and sized lazily from the intrinsics on first render.
+	// Nil under Config.NoRenderCtx — every render then falls back to the
+	// one-shot path.
+	renderCtx *splat.RenderContext
 
 	prevFrame   *frame.Frame
 	prevPose    vecmath.Pose
@@ -214,15 +226,23 @@ func New(cfg Config, intr camera.Intrinsics) *System {
 	detector := covis.NewDetector()
 	detector.Cfg.Workers = cfg.CodecWorkers
 	detector.Cfg.EarlyTerm = cfg.CodecEarlyTerm
+	m := mapper.New(mcfg)
+	var ctx *splat.RenderContext
+	if !cfg.NoRenderCtx {
+		ctx = splat.NewRenderContext()
+		refiner.Ctx = ctx
+		m.Ctx = ctx
+	}
 	return &System{
-		Cfg:      cfg,
-		Intr:     intr,
-		mapper:   mapper.New(mcfg),
-		refiner:  refiner,
-		aligner:  tracker.NewCoarseAligner(),
-		detector: detector,
-		backbone: nnlite.NewPoseBackbone(7),
-		prevRel:  vecmath.PoseIdentity(),
+		Cfg:       cfg,
+		Intr:      intr,
+		mapper:    m,
+		refiner:   refiner,
+		aligner:   tracker.NewCoarseAligner(),
+		detector:  detector,
+		backbone:  nnlite.NewPoseBackbone(7),
+		renderCtx: ctx,
+		prevRel:   vecmath.PoseIdentity(),
 	}
 }
 
@@ -394,7 +414,7 @@ func (s *System) step(f *frame.Frame, ft *trace.FrameTrace, info *FrameInfo) {
 // non-contributory set at this frame (one extra logged render; §6.2).
 func (s *System) measureFPRate(f *frame.Frame, pose vecmath.Pose) float64 {
 	cam := camera.Camera{Intr: s.Intr, Pose: pose}
-	res := splat.Render(s.mapper.Cloud(), cam, splat.Options{
+	res := s.renderCtx.Render(s.mapper.Cloud(), cam, splat.Options{
 		LogContribution: true,
 		ThreshAlpha:     s.mapper.Cfg.ThreshAlpha,
 		Workers:         s.Cfg.Workers,
@@ -451,9 +471,10 @@ func EvaluatePSNR(res *Result, seq *scene.Sequence, stride int) (float64, error)
 	}
 	var sum float64
 	var n int
+	ctx := splat.NewRenderContext() // reused across frames; PSNR reads each render before the next
 	for i := 0; i < len(seq.Frames); i += stride {
 		cam := camera.Camera{Intr: seq.Intr, Pose: res.Poses[i]}
-		r := splat.Render(res.Cloud, cam, splat.Options{})
+		r := ctx.Render(res.Cloud, cam, splat.Options{})
 		p, err := metrics.PSNR(r.Color, seq.Frames[i].Color)
 		if err != nil {
 			return 0, err

@@ -1,21 +1,18 @@
 package splat
 
-import (
-	"sync"
-
-	"ags/internal/vecmath"
-)
+import "ags/internal/vecmath"
 
 // backwardArena holds Backward's per-call partial-reduction buffers: the
-// tile-table offsets, per-tile loss/pose partials, and (for Gaussian
-// gradients) the flat per-tile-entry gradient slots. Deterministic sharding
-// sizes these O(TotalEntries) per call, which dominates the mapping loop's
-// allocation rate at experiment scale (ROADMAP), so calls recycle arenas
-// through a sync.Pool. Buffers are re-zeroed on acquisition, never lazily —
-// the merge order is what guarantees bitwise determinism, and a dirty
-// buffer would break it silently.
+// per-tile loss/pose partials and (for Gaussian gradients) the flat
+// per-tile-entry gradient slots addressed through the CSR tile offsets.
+// Deterministic sharding sizes these O(TotalEntries) per call, which
+// dominates the mapping loop's allocation rate at experiment scale, so every
+// RenderContext embeds one arena and recycles it across calls (the one-shot
+// Backward wrapper recycles whole contexts through the package pool, unless
+// BackwardOptions.NoPool opts out). Buffers are re-zeroed on every prepare,
+// never lazily — the merge order is what guarantees bitwise determinism, and
+// a dirty buffer would break it silently.
 type backwardArena struct {
-	offsets    []int
 	lossByTile []float64
 	poseByTile []vecmath.Twist
 	mean       []vecmath.Vec3
@@ -23,8 +20,6 @@ type backwardArena struct {
 	logit      []float64
 	logScale   []float64
 }
-
-var backwardArenas = sync.Pool{New: func() any { return &backwardArena{} }}
 
 // zeroed returns s resized to n with every element cleared, reusing its
 // capacity when possible.
@@ -37,18 +32,19 @@ func zeroed[T any](s []T, n int) []T {
 	return s
 }
 
-// acquireBackwardArena returns an arena with zeroed buffers for nt tiles and
-// entries total Gaussian-table slots (gradient slots only when gaussian is
-// set). noPool bypasses the pool, allocating fresh — the escape hatch the
-// perf-render experiment uses to A/B allocation counts.
-func acquireBackwardArena(nt, entries int, gaussian, noPool bool) *backwardArena {
-	var a *backwardArena
-	if noPool {
-		a = &backwardArena{}
-	} else {
-		a = backwardArenas.Get().(*backwardArena)
+// resized returns s resized to n without clearing it: for buffers every
+// element of which is overwritten before being read (the assigned-not-
+// accumulated pixel planes).
+func resized[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
 	}
-	a.offsets = zeroed(a.offsets, nt+1)
+	return s[:n]
+}
+
+// prepare zeroes the arena for nt tiles and entries total Gaussian-table
+// slots (gradient slots only when gaussian is set), reusing capacity.
+func (a *backwardArena) prepare(nt, entries int, gaussian bool) {
 	a.lossByTile = zeroed(a.lossByTile, nt)
 	a.poseByTile = zeroed(a.poseByTile, nt)
 	if gaussian {
@@ -57,13 +53,9 @@ func acquireBackwardArena(nt, entries int, gaussian, noPool bool) *backwardArena
 		a.logit = zeroed(a.logit, entries)
 		a.logScale = zeroed(a.logScale, entries)
 	}
-	return a
 }
 
-// release returns the arena to the pool. Callers must not retain any of its
-// slices past this point.
-func (a *backwardArena) release(noPool bool) {
-	if !noPool {
-		backwardArenas.Put(a)
-	}
+// reset drops the arena's buffers entirely (RenderContext.Reset).
+func (a *backwardArena) reset() {
+	*a = backwardArena{}
 }

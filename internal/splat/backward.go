@@ -55,10 +55,11 @@ type BackwardOptions struct {
 	GaussianGrads bool // color/opacity/mean/scale (mapping)
 	PoseGrads     bool // camera twist (tracking)
 	Workers       int
-	// NoPool bypasses the pooled gradient arena and allocates the partial
-	// buffers fresh. Gradients are bitwise identical either way; the bench
-	// perf-render experiment uses it to report allocs/op with vs without
-	// pooling.
+	// NoPool makes the one-shot Backward allocate its scratch context
+	// (which embeds the partial-reduction arena) fresh instead of drawing
+	// it from the package pool. Gradients are bitwise identical either way;
+	// the bench perf-render experiment uses it to report allocs/op with vs
+	// without pooling. Ignored by (*RenderContext).Backward.
 	NoPool bool
 }
 
@@ -75,16 +76,38 @@ type contribution struct {
 // Backward computes the loss and its gradients for the rendered result res
 // against the target frame (step 4 of Fig. 2). It replays each pixel's
 // blending sequence front-to-back, then walks it back-to-front to form the
-// suffix terms of d(pixel)/d(alpha_i).
+// suffix terms of d(pixel)/d(alpha_i). One-shot entry point: the returned
+// Grads owns its buffers; hot loops should call (*RenderContext).Backward.
 func Backward(cloud *gauss.Cloud, cam camera.Camera, res *Result, target *frame.Frame, loss LossConfig, opts BackwardOptions) *Grads {
-	w, h := cam.Intr.W, cam.Intr.H
-	grads := &Grads{}
-	if opts.GaussianGrads {
-		grads.Mean = make([]vecmath.Vec3, cloud.Len())
-		grads.Color = make([]vecmath.Vec3, cloud.Len())
-		grads.Logit = make([]float64, cloud.Len())
-		grads.LogScale = make([]float64, cloud.Len())
+	ctx := acquireContext(opts.NoPool)
+	ctx.Backward(cloud, cam, res, target, loss, opts)
+	g := ctx.detachGrads()
+	releaseContext(ctx, opts.NoPool)
+	return g
+}
+
+// Backward computes loss and gradients into the context's buffers. res may
+// be any Result (from this context, another, or a one-shot Render); it is
+// only read, never written — even a Result aliasing this same context stays
+// valid, per the package aliasing rules. The returned Grads aliases the
+// context and is valid until its next Backward or Reset call. A nil context
+// falls back to the one-shot package function.
+func (ctx *RenderContext) Backward(cloud *gauss.Cloud, cam camera.Camera, res *Result, target *frame.Frame, loss LossConfig, opts BackwardOptions) *Grads {
+	if ctx == nil {
+		return Backward(cloud, cam, res, target, loss, opts)
 	}
+	w, h := cam.Intr.W, cam.Intr.H
+	grads := &ctx.grads
+	if opts.GaussianGrads {
+		grads.Mean = zeroed(grads.Mean, cloud.Len())
+		grads.Color = zeroed(grads.Color, cloud.Len())
+		grads.Logit = zeroed(grads.Logit, cloud.Len())
+		grads.LogScale = zeroed(grads.LogScale, cloud.Len())
+	} else {
+		grads.Mean, grads.Color, grads.Logit, grads.LogScale = nil, nil, nil, nil
+	}
+	grads.Pose = vecmath.Twist{}
+	grads.Loss = 0
 
 	// Count masked pixels first so gradients are mean- rather than
 	// sum-normalized (stable learning rates across resolutions).
@@ -108,75 +131,80 @@ func Backward(cloud *gauss.Cloud, cam camera.Camera, res *Result, target *frame.
 	// gradients are byte-identical for every Workers value.
 	tiles := res.Tiles
 	nt := tiles.NumTiles()
-	ranges := shardRanges(nt, opts.Workers)
+	ctx.ranges = shardRangesInto(ctx.ranges[:0], nt, opts.Workers)
+	ranges := ctx.ranges
 
-	// Per-tile gradient slots live in flat buffers indexed by the tile's
-	// offset into the concatenated Gaussian tables: entry j of tile t is at
-	// offsets[t]+j. A tile only ever touches Gaussians in its own table, so
-	// this is the sparse footprint of the tile's gradient contribution. The
-	// buffers come from a pooled arena (see arena.go): the entries count is
-	// only known after the offsets pass, so the arena is acquired in two
-	// steps, reusing one allocation across mapping iterations.
-	entries := 0
-	for _, l := range tiles.Lists {
-		entries += len(l)
-	}
-	ar := acquireBackwardArena(nt, entries, opts.GaussianGrads, opts.NoPool)
-	defer ar.release(opts.NoPool)
-	offsets := ar.offsets
-	for i, l := range tiles.Lists {
-		offsets[i+1] = offsets[i] + len(l)
-	}
-	lossByTile := ar.lossByTile
-	poseByTile := ar.poseByTile
-	var meanBuf, colorBuf []vecmath.Vec3
-	var logitBuf, logScaleBuf []float64
-	if opts.GaussianGrads {
-		meanBuf = ar.mean
-		colorBuf = ar.color
-		logitBuf = ar.logit
-		logScaleBuf = ar.logScale
-	}
+	// Per-tile gradient slots live in the arena's flat buffers indexed by
+	// the tile's CSR offset: entry j of tile t is at Offsets[t]+j. A tile
+	// only ever touches Gaussians in its own table, so this is the sparse
+	// footprint of the tile's gradient contribution. The arena is embedded
+	// in the context, reusing one allocation across mapping iterations.
+	ar := &ctx.arena
+	ar.prepare(nt, tiles.TotalEntries(), opts.GaussianGrads)
 
-	var wg sync.WaitGroup
-	for wi := range ranges {
-		wg.Add(1)
-		go func(wi int) {
-			defer wg.Done()
-			scratch := make([]contribution, 0, 256)
-			for tileIdx := ranges[wi][0]; tileIdx < ranges[wi][1]; tileIdx++ {
-				var tMean, tColor []vecmath.Vec3
-				var tLogit, tLogScale []float64
-				if opts.GaussianGrads {
-					lo, hi := offsets[tileIdx], offsets[tileIdx+1]
-					tMean, tColor = meanBuf[lo:hi], colorBuf[lo:hi]
-					tLogit, tLogScale = logitBuf[lo:hi], logScaleBuf[lo:hi]
-				}
-				backwardOneTile(cloud, cam, res, target, loss, opts, tileIdx, norm,
-					tMean, tColor, tLogit, tLogScale,
-					&poseByTile[tileIdx], &lossByTile[tileIdx], &scratch)
-			}
-		}(wi)
+	if cap(ctx.bwScratch) < len(ranges) {
+		ctx.bwScratch = append(ctx.bwScratch[:cap(ctx.bwScratch)],
+			make([][]contribution, len(ranges)-cap(ctx.bwScratch))...)
 	}
-	wg.Wait()
+	ctx.bwScratch = ctx.bwScratch[:len(ranges)]
+
+	if len(ranges) == 1 {
+		ctx.backwardShard(cloud, cam, res, target, loss, opts, ranges[0], norm, 0)
+	} else {
+		var wg sync.WaitGroup
+		for wi := range ranges {
+			wg.Add(1)
+			go func(wi int) {
+				defer wg.Done()
+				ctx.backwardShard(cloud, cam, res, target, loss, opts, ranges[wi], norm, wi)
+			}(wi)
+		}
+		wg.Wait()
+	}
 
 	// Ordered merge: tile 0, 1, ... regardless of which worker produced each
 	// partial. Within a tile, entries are added in table order.
 	for tileIdx := 0; tileIdx < nt; tileIdx++ {
-		grads.Loss += lossByTile[tileIdx]
-		grads.Pose = grads.Pose.Add(poseByTile[tileIdx])
+		grads.Loss += ar.lossByTile[tileIdx]
+		grads.Pose = grads.Pose.Add(ar.poseByTile[tileIdx])
 		if opts.GaussianGrads {
-			base := offsets[tileIdx]
-			for j, si := range tiles.Lists[tileIdx] {
+			base := int(tiles.Offsets[tileIdx])
+			for j, si := range tiles.ListAt(tileIdx) {
 				id := res.Splats[si].ID
-				grads.Mean[id] = grads.Mean[id].Add(meanBuf[base+j])
-				grads.Color[id] = grads.Color[id].Add(colorBuf[base+j])
-				grads.Logit[id] += logitBuf[base+j]
-				grads.LogScale[id] += logScaleBuf[base+j]
+				grads.Mean[id] = grads.Mean[id].Add(ar.mean[base+j])
+				grads.Color[id] = grads.Color[id].Add(ar.color[base+j])
+				grads.Logit[id] += ar.logit[base+j]
+				grads.LogScale[id] += ar.logScale[base+j]
 			}
 		}
 	}
 	return grads
+}
+
+// backwardShard walks one worker's contiguous tile span in ascending order,
+// accumulating per-tile partials into the context's arena.
+func (ctx *RenderContext) backwardShard(cloud *gauss.Cloud, cam camera.Camera, res *Result, target *frame.Frame,
+	loss LossConfig, opts BackwardOptions, span [2]int, norm float64, wi int) {
+
+	ar := &ctx.arena
+	tiles := res.Tiles
+	// The replay scratch header is copied to a local and stored back once:
+	// workers' headers in ctx.bwScratch are adjacent, and rewriting them per
+	// pixel through the pointer would false-share cache lines.
+	scratch := ctx.bwScratch[wi]
+	for tileIdx := span[0]; tileIdx < span[1]; tileIdx++ {
+		var tMean, tColor []vecmath.Vec3
+		var tLogit, tLogScale []float64
+		if opts.GaussianGrads {
+			lo, hi := tiles.Offsets[tileIdx], tiles.Offsets[tileIdx+1]
+			tMean, tColor = ar.mean[lo:hi], ar.color[lo:hi]
+			tLogit, tLogScale = ar.logit[lo:hi], ar.logScale[lo:hi]
+		}
+		backwardOneTile(cloud, cam, res, target, loss, opts, tileIdx, norm,
+			tMean, tColor, tLogit, tLogScale,
+			&ar.poseByTile[tileIdx], &ar.lossByTile[tileIdx], &scratch)
+	}
+	ctx.bwScratch[wi] = scratch
 }
 
 // backwardOneTile accumulates one tile's partial reductions. The Gaussian
@@ -193,10 +221,10 @@ func backwardOneTile(cloud *gauss.Cloud, cam camera.Camera, res *Result, target 
 	splats := res.Splats
 	tx := tileIdx % tiles.TW
 	ty := tileIdx / tiles.TW
-	list := tiles.Lists[tileIdx]
+	list := tiles.ListAt(tileIdx)
 	x0, y0 := tx*TileSize, ty*TileSize
-	x1 := minInt(x0+TileSize, w)
-	y1 := minInt(y0+TileSize, h)
+	x1 := min(x0+TileSize, w)
+	y1 := min(y0+TileSize, h)
 	viewRT := cam.Pose.R.Mat3().Transpose()
 
 	for y := y0; y < y1; y++ {
@@ -285,11 +313,13 @@ func backwardOneTile(cloud *gauss.Cloud, cam camera.Camera, res *Result, target 
 					gLogit[c.li] += dLdA * c.g * gauss.SigmoidGrad(s.Opacity)
 				}
 
-				// d(alpha)/d(mean2D) = alpha * CovInv * (pix - mean2D).
+				// d(alpha)/d(mean2D) = alpha * CovInv * (pix - mean2D),
+				// through the precomputed conic (== the symmetric inverse
+				// covariance, see Splat).
 				dx := px - s.Mean2D.X
 				dy := py - s.Mean2D.Y
-				sdx := s.CovInv.M00*dx + s.CovInv.M01*dy
-				sdy := s.CovInv.M10*dx + s.CovInv.M11*dy
+				sdx := s.ConA*dx + s.ConB*dy
+				sdy := s.ConB*dx + s.ConC*dy
 				dAdMu := vecmath.Vec2{X: c.alpha * sdx, Y: c.alpha * sdy}
 				gMu := dAdMu.Scale(dLdA)
 

@@ -20,6 +20,39 @@
 // including the serial Workers=1 path. Callers may rely on this for exact A/B
 // comparisons at full parallelism; Result.Digest and Grads.Digest exist to
 // assert it cheaply.
+//
+// # Render contexts
+//
+// Both passes run inside a RenderContext, which owns every buffer they touch:
+// the Result pixel planes, the contribution log and its per-worker scratch,
+// the projected-splat slice, the CSR tile tables, and the backward pass's
+// partial-reduction arena plus gradient outputs. A long-lived context makes
+// the steady-state hot path allocation-free; the package-level Render and
+// Backward functions remain as one-shot wrappers that borrow a context from
+// an internal pool (bypassed by Options.NoPool / BackwardOptions.NoPool) and
+// hand the output buffers to the caller before returning it.
+//
+// Lifecycle and aliasing rules:
+//
+//   - A context is NOT safe for concurrent use. One goroutine, one context;
+//     the parallelism knob is Options.Workers inside a call, not contexts.
+//   - (*RenderContext).Render returns a *Result whose buffers are owned by
+//     the context and valid until its next Render or Reset call. Backward
+//     only reads the Result — it never writes a Result-aliased buffer, and
+//     is contractually barred from doing so — so the render→backward→read
+//     pattern of the tracker/mapper loops is safe. Callers that retain any
+//     Result buffer across renders must copy it first.
+//   - (*RenderContext).Backward likewise returns a *Grads owned by the
+//     context, valid until its next Backward or Reset call.
+//   - The one-shot package functions return caller-owned buffers with no
+//     aliasing: they detach the output from the scratch context before
+//     pooling it.
+//   - Reset drops every internal buffer, returning the context to its
+//     zero footprint. A context re-sizes itself lazily from the intrinsics
+//     and cloud of each call, so mixed frame sizes are safe (and tested);
+//     Reset is only useful to release memory early.
+//   - Contexted and one-shot calls are byte-identical to each other — the
+//     determinism contract above holds across both, for every Workers value.
 package splat
 
 import (
@@ -49,18 +82,26 @@ const (
 )
 
 // Splat is a Gaussian projected to the image plane (a "2D Gaussian splat").
+// The 2D covariance itself is not stored: everything the render and backward
+// hot loops need from it is folded into the conic coefficients and Radius at
+// projection time, keeping the per-frame splat array lean.
 type Splat struct {
 	ID      int          // stable Gaussian ID in the cloud
 	Mean2D  vecmath.Vec2 // pixel-space center
 	Depth   float64      // camera-space depth
-	Cov     vecmath.Mat2 // 2D covariance (with blur)
-	CovInv  vecmath.Mat2 // inverse 2D covariance
 	Color   vecmath.Vec3
 	Opacity float64
 	Radius  float64      // conservative pixel radius (3 sigma)
 	CamPt   vecmath.Vec3 // camera-space center (for pose gradients)
 	DU, DV  vecmath.Vec3 // projection Jacobian rows at CamPt
 	JJT     vecmath.Mat2 // J*J^T term (for isotropic scale gradients)
+
+	// Conic coefficients of the inverse 2D covariance (with blur): for
+	// inverse [a b; b c], ConA = a, ConB = b, ConC = c. The covariance is
+	// symmetrized before inversion, so its inverse is symmetric bitwise and
+	// the conic loses nothing; the per-pixel falloff becomes straight-line
+	// arithmetic with no matrix indirection.
+	ConA, ConB, ConC float64
 }
 
 // ProjectGaussian projects one Gaussian through the camera. ok is false when
@@ -104,8 +145,6 @@ func ProjectGaussian(g *gauss.Gaussian, cam camera.Camera) (Splat, bool) {
 		ID:      -1,
 		Mean2D:  mean2,
 		Depth:   pc.Z,
-		Cov:     cov,
-		CovInv:  inv,
 		Color:   g.Color,
 		Opacity: g.Opacity(),
 		Radius:  radius,
@@ -113,6 +152,9 @@ func ProjectGaussian(g *gauss.Gaussian, cam camera.Camera) (Splat, bool) {
 		DU:      du,
 		DV:      dv,
 		JJT:     jjt,
+		ConA:    inv.M00,
+		ConB:    inv.M01,
+		ConC:    inv.M11,
 	}, true
 }
 
@@ -120,7 +162,12 @@ func ProjectGaussian(g *gauss.Gaussian, cam camera.Camera) (Splat, bool) {
 // culling those that fall outside the image or behind the camera. skip, when
 // non-nil, suppresses Gaussians whose ID is flagged (selective mapping).
 func Preprocess(cloud *gauss.Cloud, cam camera.Camera, skip []bool) []Splat {
-	splats := make([]Splat, 0, cloud.Len())
+	return preprocessInto(make([]Splat, 0, cloud.Len()), cloud, cam, skip)
+}
+
+// preprocessInto is Preprocess appending into dst (reusing its capacity — the
+// RenderContext's per-frame projection path).
+func preprocessInto(splats []Splat, cloud *gauss.Cloud, cam camera.Camera, skip []bool) []Splat {
 	for id := range cloud.Gaussians {
 		if !cloud.IsActive(id) {
 			continue
@@ -145,14 +192,15 @@ func Preprocess(cloud *gauss.Cloud, cam camera.Camera, skip []bool) []Splat {
 }
 
 // Eval returns the unnormalized Gaussian falloff G = exp(-0.5 d^T CovInv d)
-// at pixel coordinates (x, y). Falloffs small enough that alpha must land
-// below MinAlpha for any opacity (q > 12.5 => G < MinAlpha/2) return 0
-// without evaluating the exponential; blending skips them either way, so
-// behavior is unchanged and the hot loop avoids most exp calls.
+// at pixel coordinates (x, y), evaluated through the precomputed conic
+// coefficients. Falloffs small enough that alpha must land below MinAlpha
+// for any opacity (q > 12.5 => G < MinAlpha/2) return 0 without evaluating
+// the exponential; blending skips them either way, so behavior is unchanged
+// and the hot loop avoids most exp calls.
 func (s *Splat) Eval(x, y float64) float64 {
 	dx := x - s.Mean2D.X
 	dy := y - s.Mean2D.Y
-	q := dx*(s.CovInv.M00*dx+s.CovInv.M01*dy) + dy*(s.CovInv.M10*dx+s.CovInv.M11*dy)
+	q := dx*(s.ConA*dx+s.ConB*dy) + dy*(s.ConB*dx+s.ConC*dy)
 	if q < 0 {
 		return 1 // numerical guard: q is a Mahalanobis distance, >= 0
 	}

@@ -131,11 +131,11 @@ func TestPropertyContributionAccounting(t *testing.T) {
 			touchedSum += int64(v)
 		}
 		var coverage int64
-		for ti, list := range res.Tiles.Lists {
+		for ti := 0; ti < res.Tiles.NumTiles(); ti++ {
 			tx, ty := ti%res.Tiles.TW, ti/res.Tiles.TW
-			w := minInt(TileSize, cam.Intr.W-tx*TileSize)
-			h := minInt(TileSize, cam.Intr.H-ty*TileSize)
-			coverage += int64(len(list)) * int64(w*h)
+			w := min(TileSize, cam.Intr.W-tx*TileSize)
+			h := min(TileSize, cam.Intr.H-ty*TileSize)
+			coverage += int64(len(res.Tiles.ListAt(ti))) * int64(w*h)
 		}
 		return touchedSum == coverage
 	}

@@ -21,6 +21,11 @@ type Options struct {
 	ThreshAlpha float64
 	// Workers bounds render parallelism; 0 means GOMAXPROCS.
 	Workers int
+	// NoPool makes the one-shot Render allocate its scratch context fresh
+	// instead of drawing it from the package pool. Output is bitwise
+	// identical either way; perf experiments use it to A/B allocation
+	// counts. Ignored by (*RenderContext).Render, which owns its buffers.
+	NoPool bool
 }
 
 // Result is the output of a forward render.
@@ -45,70 +50,107 @@ type Result struct {
 }
 
 // Render runs the full forward pipeline (steps 1-3 of Fig. 2) for the cloud
-// viewed through cam.
+// viewed through cam. It is the one-shot entry point: the returned Result
+// owns its buffers. Hot loops that render every iteration should hold a
+// RenderContext and call its Render instead.
 func Render(cloud *gauss.Cloud, cam camera.Camera, opts Options) *Result {
-	splats := Preprocess(cloud, cam, opts.Skip)
-	tiles := BuildTiles(splats, cam.Intr)
-	return renderTiles(cloud, cam, splats, tiles, opts)
+	ctx := acquireContext(opts.NoPool)
+	ctx.Render(cloud, cam, opts)
+	res := ctx.detachResult()
+	releaseContext(ctx, opts.NoPool)
+	return res
 }
 
-func renderTiles(cloud *gauss.Cloud, cam camera.Camera, splats []Splat, tiles *Tiles, opts Options) *Result {
+// Render runs the forward pipeline into the context's buffers. The returned
+// Result aliases the context and is valid until its next Render or Reset
+// call (Backward reads it but never writes it); see the package doc for the
+// full aliasing rules. A nil context falls back to the one-shot package
+// function.
+func (ctx *RenderContext) Render(cloud *gauss.Cloud, cam camera.Camera, opts Options) *Result {
+	if ctx == nil {
+		return Render(cloud, cam, opts)
+	}
+	ctx.splats = preprocessInto(ctx.splats[:0], cloud, cam, opts.Skip)
+	buildTilesInto(&ctx.tiles, &ctx.tileCursor, ctx.splats, cam.Intr)
+	return ctx.renderTiles(cloud, cam, opts)
+}
+
+// renderTiles runs steps 3 of Fig. 2 over the context's prepared splats and
+// tiles. Static sharding: each worker owns a contiguous tile range and walks
+// it in ascending order. Pixel buffers are disjoint across tiles, and the
+// cross-tile reductions (op counters, contribution log) are integers (exact
+// under any association) merged in fixed worker order, so every Workers
+// value produces byte-identical Results.
+func (ctx *RenderContext) renderTiles(cloud *gauss.Cloud, cam camera.Camera, opts Options) *Result {
 	w, h := cam.Intr.W, cam.Intr.H
-	res := &Result{
-		Color:         frame.NewImage(w, h),
-		Depth:         frame.NewDepthMap(w, h),
-		Silhouette:    make([]float64, w*h),
-		FinalT:        make([]float64, w*h),
-		Splats:        splats,
-		Tiles:         tiles,
-		PerPixelBlend: make([]int32, w*h),
-		PerPixelAlpha: make([]int32, w*h),
-	}
+	// The four assigned pixel planes are fully overwritten (every pixel
+	// belongs to exactly one tile), so they are resized without clearing;
+	// the accumulated counters are re-zeroed.
+	ctx.color = frame.Image{W: w, H: h, Pix: resized(ctx.color.Pix, w*h)}
+	ctx.depth = frame.DepthMap{W: w, H: h, D: resized(ctx.depth.D, w*h)}
+	res := &ctx.result
+	res.Color = &ctx.color
+	res.Depth = &ctx.depth
+	res.Silhouette = resized(res.Silhouette, w*h)
+	res.FinalT = resized(res.FinalT, w*h)
+	res.Splats = ctx.splats
+	res.Tiles = &ctx.tiles
+	res.PerPixelBlend = zeroed(res.PerPixelBlend, w*h)
+	res.PerPixelAlpha = zeroed(res.PerPixelAlpha, w*h)
+	res.AlphaOps, res.BlendOps = 0, 0
 	if opts.LogContribution {
-		res.NonContrib = make([]int32, cloud.Len())
-		res.Touched = make([]int32, cloud.Len())
+		res.NonContrib = zeroed(res.NonContrib, cloud.Len())
+		res.Touched = zeroed(res.Touched, cloud.Len())
+	} else {
+		res.NonContrib, res.Touched = nil, nil
 	}
-	// Static sharding: each worker owns a contiguous tile range and walks it
-	// in ascending order. Pixel buffers are disjoint across tiles, and the
-	// cross-tile reductions below are integers (exact under any association),
-	// so the shards merged in fixed worker order produce byte-identical
-	// Results for every Workers value.
-	ranges := shardRanges(tiles.NumTiles(), opts.Workers)
 
-	type workerAcc struct {
-		nonContrib []int32
-		touched    []int32
-		alphaOps   int64
-		blendOps   int64
+	ctx.ranges = shardRangesInto(ctx.ranges[:0], ctx.tiles.NumTiles(), opts.Workers)
+	ranges := ctx.ranges
+	if len(ranges) == 1 {
+		// Serial fast path: accumulate straight into the Result. The
+		// reductions are integers, so this is bit-identical to the
+		// scratch-and-merge parallel path — and it spawns nothing, keeping
+		// warm contexted renders allocation-free.
+		renderShard(res, ctx.splats, &ctx.tiles, ranges[0], w, h, opts,
+			res.NonContrib, res.Touched, &res.AlphaOps, &res.BlendOps)
+		return res
 	}
-	accs := make([]workerAcc, len(ranges))
 
+	nw := len(ranges)
+	n := cloud.Len()
+	var nonContribAll, touchedAll []int32
+	if opts.LogContribution {
+		ctx.contrib = zeroed(ctx.contrib, 2*nw*n)
+		nonContribAll = ctx.contrib[:nw*n]
+		touchedAll = ctx.contrib[nw*n:]
+	}
+	ctx.ops = zeroed(ctx.ops, 2*nw)
 	var wg sync.WaitGroup
 	for wi := range ranges {
 		wg.Add(1)
 		go func(wi int) {
 			defer wg.Done()
-			acc := &accs[wi]
+			var nc, tc []int32
 			if opts.LogContribution {
-				acc.nonContrib = make([]int32, cloud.Len())
-				acc.touched = make([]int32, cloud.Len())
+				nc = nonContribAll[wi*n : (wi+1)*n]
+				tc = touchedAll[wi*n : (wi+1)*n]
 			}
-			for tileIdx := ranges[wi][0]; tileIdx < ranges[wi][1]; tileIdx++ {
-				renderOneTile(res, splats, tiles, tileIdx, w, h, opts, acc.nonContrib, acc.touched, &acc.alphaOps, &acc.blendOps)
-			}
+			renderShard(res, ctx.splats, &ctx.tiles, ranges[wi], w, h, opts,
+				nc, tc, &ctx.ops[2*wi], &ctx.ops[2*wi+1])
 		}(wi)
 	}
 	wg.Wait()
 
 	// Fixed-order merge (worker 0, 1, ...).
-	for i := range accs {
-		res.AlphaOps += accs[i].alphaOps
-		res.BlendOps += accs[i].blendOps
+	for wi := 0; wi < nw; wi++ {
+		res.AlphaOps += ctx.ops[2*wi]
+		res.BlendOps += ctx.ops[2*wi+1]
 		if opts.LogContribution {
-			for id, v := range accs[i].nonContrib {
+			for id, v := range nonContribAll[wi*n : (wi+1)*n] {
 				res.NonContrib[id] += v
 			}
-			for id, v := range accs[i].touched {
+			for id, v := range touchedAll[wi*n : (wi+1)*n] {
 				res.Touched[id] += v
 			}
 		}
@@ -116,15 +158,30 @@ func renderTiles(cloud *gauss.Cloud, cam camera.Camera, splats []Splat, tiles *T
 	return res
 }
 
+// renderShard renders one worker's contiguous tile span in ascending order.
+// Op counters accumulate in locals and are stored to the shared slots once
+// per shard: workers' slots in ctx.ops are adjacent, and incrementing them
+// per (pixel, splat) through the pointer would false-share cache lines on
+// the hottest increment of the pipeline.
+func renderShard(res *Result, splats []Splat, tiles *Tiles, span [2]int, w, h int, opts Options,
+	nonContrib, touched []int32, alphaOps, blendOps *int64) {
+	var alpha, blend int64
+	for tileIdx := span[0]; tileIdx < span[1]; tileIdx++ {
+		renderOneTile(res, splats, tiles, tileIdx, w, h, opts, nonContrib, touched, &alpha, &blend)
+	}
+	*alphaOps = alpha
+	*blendOps = blend
+}
+
 func renderOneTile(res *Result, splats []Splat, tiles *Tiles, tileIdx, w, h int, opts Options,
 	nonContrib, touched []int32, alphaOps, blendOps *int64) {
 
 	tx := tileIdx % tiles.TW
 	ty := tileIdx / tiles.TW
-	list := tiles.Lists[tileIdx]
+	list := tiles.ListAt(tileIdx)
 	x0, y0 := tx*TileSize, ty*TileSize
-	x1 := minInt(x0+TileSize, w)
-	y1 := minInt(y0+TileSize, h)
+	x1 := min(x0+TileSize, w)
+	y1 := min(y0+TileSize, h)
 
 	for y := y0; y < y1; y++ {
 		for x := x0; x < x1; x++ {
@@ -181,14 +238,18 @@ func renderOneTile(res *Result, splats []Splat, tiles *Tiles, tileIdx, w, h int,
 	}
 }
 
-// TileIDLists converts the per-tile splat-index lists into stable
+// TileIDLists converts the per-tile splat-index tables into stable
 // Gaussian-ID lists (the paper's "Gaussian tables", which the hardware
-// model's logging/skipping tables replay).
+// model's logging/skipping tables replay). The returned lists are freshly
+// allocated — safe to retain even when the Result came from a RenderContext.
 func (r *Result) TileIDLists() [][]int32 {
-	out := make([][]int32, len(r.Tiles.Lists))
-	for i, l := range r.Tiles.Lists {
-		ids := make([]int32, len(l))
-		for j, si := range l {
+	nt := r.Tiles.NumTiles()
+	out := make([][]int32, nt)
+	backing := make([]int32, r.Tiles.TotalEntries())
+	for i := 0; i < nt; i++ {
+		lo, hi := r.Tiles.Offsets[i], r.Tiles.Offsets[i+1]
+		ids := backing[lo:hi:hi]
+		for j, si := range r.Tiles.Entries[lo:hi] {
 			ids[j] = int32(r.Splats[si].ID)
 		}
 		out[i] = ids
@@ -207,11 +268,4 @@ func (r *Result) NormalizedDepth() *frame.DepthMap {
 		}
 	}
 	return out
-}
-
-func minInt(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
 }

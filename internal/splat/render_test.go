@@ -251,8 +251,8 @@ func TestTileCoverageMatchesRadius(t *testing.T) {
 	cloud.Add(centeredGaussian(1.2, 1.5, 0.9, vecmath.Vec3{X: 1}))
 	splats := Preprocess(cloud, cam, nil)
 	tiles := BuildTiles(splats, cam.Intr)
-	for i, l := range tiles.Lists {
-		if len(l) != 1 {
+	for i := 0; i < tiles.NumTiles(); i++ {
+		if len(tiles.ListAt(i)) != 1 {
 			t.Fatalf("tile %d missing the full-screen gaussian", i)
 		}
 	}

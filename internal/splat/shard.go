@@ -10,6 +10,12 @@ import "runtime"
 // spans are [start, end) pairs; at least one span is always returned (it is
 // empty when n == 0).
 func shardRanges(n, workers int) [][2]int {
+	return shardRangesInto(nil, n, workers)
+}
+
+// shardRangesInto is shardRanges appending into dst (reusing its capacity —
+// the RenderContext's per-call path).
+func shardRangesInto(dst [][2]int, n, workers int) [][2]int {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -20,15 +26,14 @@ func shardRanges(n, workers int) [][2]int {
 		workers = 1
 	}
 	base, rem := n/workers, n%workers
-	out := make([][2]int, workers)
 	start := 0
-	for w := range out {
+	for w := 0; w < workers; w++ {
 		size := base
 		if w < rem {
 			size++
 		}
-		out[w] = [2]int{start, start + size}
+		dst = append(dst, [2]int{start, start + size})
 		start += size
 	}
-	return out
+	return dst
 }

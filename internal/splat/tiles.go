@@ -1,78 +1,167 @@
 package splat
 
 import (
-	"sort"
+	"slices"
 
 	"ags/internal/camera"
 )
 
-// Tiles holds the per-tile Gaussian tables (step 2 of Fig. 2): for every
-// image tile, the indices into the splat slice of the Gaussians intersecting
-// it, sorted front-to-back by depth. These tables are exactly what the AGS
-// mapping engine walks, so the hardware simulator consumes them unchanged.
+// Tiles holds the per-tile Gaussian tables (step 2 of Fig. 2) in a flat
+// CSR-style layout: Entries is one backing array of splat indices and
+// Offsets[i]..Offsets[i+1] bounds tile i's table, sorted front-to-back by
+// depth. These tables are exactly what the AGS mapping engine walks, so the
+// hardware simulator consumes them unchanged; the flat layout is also what
+// lets a RenderContext rebuild them every frame without allocating.
 type Tiles struct {
-	TW, TH int       // tile grid size
-	Lists  [][]int32 // Lists[ty*TW+tx] = splat indices, depth ascending
+	TW, TH  int     // tile grid size
+	Offsets []int32 // len NumTiles()+1; tile i's table is Entries[Offsets[i]:Offsets[i+1]]
+	Entries []int32 // concatenated splat-index tables, depth ascending per tile
 }
 
 // NumTiles returns the number of tiles in the grid.
 func (t *Tiles) NumTiles() int { return t.TW * t.TH }
 
 // List returns the Gaussian table of tile (tx, ty).
-func (t *Tiles) List(tx, ty int) []int32 { return t.Lists[ty*t.TW+tx] }
+func (t *Tiles) List(tx, ty int) []int32 { return t.ListAt(ty*t.TW + tx) }
+
+// ListAt returns the Gaussian table of the tile with flat index idx. The
+// capacity is capped at the table's end: the tables share one backing array,
+// and an uncapped append from a caller would silently overwrite the next
+// tile's entries.
+func (t *Tiles) ListAt(idx int) []int32 {
+	lo, hi := t.Offsets[idx], t.Offsets[idx+1]
+	return t.Entries[lo:hi:hi]
+}
 
 // TotalEntries returns the summed length of all Gaussian tables — the
 // number of (Gaussian, tile) pairs the renderer will touch.
-func (t *Tiles) TotalEntries() int {
-	n := 0
-	for _, l := range t.Lists {
-		n += len(l)
-	}
-	return n
-}
+func (t *Tiles) TotalEntries() int { return len(t.Entries) }
 
 // BuildTiles performs the tile intersection test and depth sort. A splat is
 // assigned to every tile its 3-sigma bounding box overlaps (the reference
-// 3DGS conservative test).
+// 3DGS conservative test). One-shot variant of (*RenderContext).Render's
+// internal build; see buildTilesInto.
 func BuildTiles(splats []Splat, intr camera.Intrinsics) *Tiles {
-	tw := (intr.W + TileSize - 1) / TileSize
-	th := (intr.H + TileSize - 1) / TileSize
-	t := &Tiles{TW: tw, TH: th, Lists: make([][]int32, tw*th)}
-	for i := range splats {
-		s := &splats[i]
-		// A splat whose 3-sigma box misses the image entirely is culled:
-		// clamping it into border tiles would charge phantom table entries
-		// (and alpha evaluations) to the workload trace. Render's
-		// preprocessing already culls these, but BuildTiles must stand alone
-		// for direct callers.
-		if s.Mean2D.X+s.Radius < 0 || s.Mean2D.Y+s.Radius < 0 ||
-			s.Mean2D.X-s.Radius >= float64(intr.W) || s.Mean2D.Y-s.Radius >= float64(intr.H) {
-			continue
-		}
-		x0 := clampInt(int((s.Mean2D.X-s.Radius)/TileSize), 0, tw-1)
-		x1 := clampInt(int((s.Mean2D.X+s.Radius)/TileSize), 0, tw-1)
-		y0 := clampInt(int((s.Mean2D.Y-s.Radius)/TileSize), 0, th-1)
-		y1 := clampInt(int((s.Mean2D.Y+s.Radius)/TileSize), 0, th-1)
-		for ty := y0; ty <= y1; ty++ {
-			for tx := x0; tx <= x1; tx++ {
-				idx := ty*tw + tx
-				t.Lists[idx] = append(t.Lists[idx], int32(i))
-			}
-		}
-	}
-	for idx := range t.Lists {
-		l := t.Lists[idx]
-		sort.Slice(l, func(a, b int) bool { return splats[l[a]].Depth < splats[l[b]].Depth })
-	}
+	t := &Tiles{}
+	var cursor []int32
+	buildTilesInto(t, &cursor, splats, intr)
 	return t
 }
 
-func clampInt(x, lo, hi int) int {
-	if x < lo {
-		return lo
+// tileRect returns the clamped tile-coordinate bounding box of the splat, or
+// ok=false when its 3-sigma box misses the image entirely. Culling instead of
+// clamping matters: a clamped off-screen splat would charge phantom table
+// entries (and alpha evaluations) to the workload trace. Render's
+// preprocessing already culls these, but BuildTiles must stand alone for
+// direct callers.
+func tileRect(s *Splat, w, h, tw, th int) (x0, x1, y0, y1 int, ok bool) {
+	if s.Mean2D.X+s.Radius < 0 || s.Mean2D.Y+s.Radius < 0 ||
+		s.Mean2D.X-s.Radius >= float64(w) || s.Mean2D.Y-s.Radius >= float64(h) {
+		return 0, 0, 0, 0, false
 	}
-	if x > hi {
-		return hi
+	x0 = min(max(int((s.Mean2D.X-s.Radius)/TileSize), 0), tw-1)
+	x1 = min(max(int((s.Mean2D.X+s.Radius)/TileSize), 0), tw-1)
+	y0 = min(max(int((s.Mean2D.Y-s.Radius)/TileSize), 0), th-1)
+	y1 = min(max(int((s.Mean2D.Y+s.Radius)/TileSize), 0), th-1)
+	return x0, x1, y0, y1, true
+}
+
+// buildTilesInto rebuilds t's CSR tables in place with a two-pass counting
+// build (count per tile, prefix-sum, fill), reusing t's backing arrays and
+// the caller's cursor scratch. Entries are filled in ascending splat index
+// per tile, then depth-sorted; ties break toward the lower splat index, so
+// the table order is a pure function of the splat slice.
+func buildTilesInto(t *Tiles, cursor *[]int32, splats []Splat, intr camera.Intrinsics) {
+	tw := (intr.W + TileSize - 1) / TileSize
+	th := (intr.H + TileSize - 1) / TileSize
+	nt := tw * th
+	t.TW, t.TH = tw, th
+	t.Offsets = zeroed(t.Offsets, nt+1)
+
+	// Pass 1: count entries per tile (shifted by one so the prefix sum below
+	// turns counts into offsets directly).
+	for i := range splats {
+		x0, x1, y0, y1, ok := tileRect(&splats[i], intr.W, intr.H, tw, th)
+		if !ok {
+			continue
+		}
+		for ty := y0; ty <= y1; ty++ {
+			for tx := x0; tx <= x1; tx++ {
+				t.Offsets[ty*tw+tx+1]++
+			}
+		}
 	}
-	return x
+	for i := 0; i < nt; i++ {
+		t.Offsets[i+1] += t.Offsets[i]
+	}
+	total := int(t.Offsets[nt])
+	if cap(t.Entries) < total {
+		t.Entries = make([]int32, total)
+	} else {
+		t.Entries = t.Entries[:total]
+	}
+
+	// Pass 2: fill through a per-tile write cursor.
+	cur := zeroed(*cursor, nt)
+	copy(cur, t.Offsets[:nt])
+	*cursor = cur
+	for i := range splats {
+		x0, x1, y0, y1, ok := tileRect(&splats[i], intr.W, intr.H, tw, th)
+		if !ok {
+			continue
+		}
+		for ty := y0; ty <= y1; ty++ {
+			for tx := x0; tx <= x1; tx++ {
+				idx := ty*tw + tx
+				t.Entries[cur[idx]] = int32(i)
+				cur[idx]++
+			}
+		}
+	}
+
+	// Pass 3: per-tile front-to-back depth sort.
+	for idx := 0; idx < nt; idx++ {
+		sortTileByDepth(t.Entries[t.Offsets[idx]:t.Offsets[idx+1]], splats)
+	}
+}
+
+// depthSortCutoff is the tile-table length up to which the allocation-free
+// insertion sort is used; longer tables fall back to slices.SortFunc. Tile
+// tables are short in the common case (tens of entries), where insertion
+// sort beats the general algorithm and never allocates.
+const depthSortCutoff = 32
+
+// sortTileByDepth orders one tile's table front-to-back. The comparator is
+// (depth, splat index): depth ties break toward the lower index, which both
+// the insertion path and the SortFunc fallback implement identically, so the
+// resulting order — and therefore the blend order and every downstream
+// digest — does not depend on which path ran.
+func sortTileByDepth(list []int32, splats []Splat) {
+	if len(list) <= depthSortCutoff {
+		for i := 1; i < len(list); i++ {
+			e := list[i]
+			d := splats[e].Depth
+			j := i - 1
+			for j >= 0 && (splats[list[j]].Depth > d || (splats[list[j]].Depth == d && list[j] > e)) {
+				list[j+1] = list[j]
+				j--
+			}
+			list[j+1] = e
+		}
+		return
+	}
+	slices.SortFunc(list, func(a, b int32) int {
+		da, db := splats[a].Depth, splats[b].Depth
+		switch {
+		case da < db:
+			return -1
+		case da > db:
+			return 1
+		case a < b:
+			return -1
+		case a > b:
+			return 1
+		}
+		return 0
+	})
 }

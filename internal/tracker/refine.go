@@ -1,6 +1,8 @@
 package tracker
 
 import (
+	"slices"
+
 	"ags/internal/camera"
 	"ags/internal/frame"
 	"ags/internal/gauss"
@@ -19,6 +21,13 @@ type GSRefiner struct {
 	LR      float64
 	Loss    splat.LossConfig
 	Workers int
+	// Ctx, when non-nil, is the reusable render context every iteration
+	// renders through, making the refinement loop allocation-free (nil falls
+	// back to one-shot renders; outputs are bit-identical either way). The
+	// refiner borrows the context only for the duration of a call — callers
+	// may share one context across the tracker and mapper of a pipeline, but
+	// not across goroutines.
+	Ctx *splat.RenderContext
 }
 
 // NewGSRefiner returns a refiner with SplaTAM-style settings.
@@ -40,8 +49,8 @@ func (r *GSRefiner) RefineBest(cloud *gauss.Cloud, intr camera.Intrinsics, f *fr
 		bestLoss := -1.0
 		for _, init := range inits {
 			cam := camera.Camera{Intr: intr, Pose: init}
-			res := splat.Render(cloud, cam, splat.Options{Workers: r.Workers})
-			grads := splat.Backward(cloud, cam, res, f, r.Loss, splat.BackwardOptions{Workers: r.Workers})
+			res := r.Ctx.Render(cloud, cam, splat.Options{Workers: r.Workers})
+			grads := r.Ctx.Backward(cloud, cam, res, f, r.Loss, splat.BackwardOptions{Workers: r.Workers})
 			if bestLoss < 0 || grads.Loss < bestLoss {
 				bestLoss = grads.Loss
 				best = init
@@ -64,13 +73,15 @@ func (r *GSRefiner) Refine(cloud *gauss.Cloud, intr camera.Intrinsics, f *frame.
 	bestLoss := -1.0
 	for i := 0; i < iters; i++ {
 		cam := camera.Camera{Intr: intr, Pose: pose}
-		res := splat.Render(cloud, cam, splat.Options{Workers: r.Workers})
-		grads := splat.Backward(cloud, cam, res, f, r.Loss, splat.BackwardOptions{PoseGrads: true, Workers: r.Workers})
+		res := r.Ctx.Render(cloud, cam, splat.Options{Workers: r.Workers})
+		grads := r.Ctx.Backward(cloud, cam, res, f, r.Loss, splat.BackwardOptions{PoseGrads: true, Workers: r.Workers})
 		stats.Accumulate(res.AlphaOps, res.BlendOps, 2*res.BlendOps,
 			int64(len(res.Splats)), int64(res.Tiles.TotalEntries()), int64(intr.W*intr.H))
 		if i == iters-1 {
-			stats.RepPerPixelBlend = res.PerPixelBlend
-			stats.RepPerPixelAlpha = res.PerPixelAlpha
+			// The trace snapshot outlives this iteration, while a contexted
+			// res is only valid until the next render — copy, don't alias.
+			stats.RepPerPixelBlend = slices.Clone(res.PerPixelBlend)
+			stats.RepPerPixelAlpha = slices.Clone(res.PerPixelAlpha)
 			stats.RepTileLists = res.TileIDLists()
 			stats.Width, stats.Height = intr.W, intr.H
 		}
@@ -90,8 +101,8 @@ func (r *GSRefiner) Refine(cloud *gauss.Cloud, intr camera.Intrinsics, f *frame.
 	// Evaluate the final pose too, so the best-seen pose is returned.
 	if iters > 0 {
 		cam := camera.Camera{Intr: intr, Pose: pose}
-		res := splat.Render(cloud, cam, splat.Options{Workers: r.Workers})
-		grads := splat.Backward(cloud, cam, res, f, r.Loss, splat.BackwardOptions{Workers: r.Workers})
+		res := r.Ctx.Render(cloud, cam, splat.Options{Workers: r.Workers})
+		grads := r.Ctx.Backward(cloud, cam, res, f, r.Loss, splat.BackwardOptions{Workers: r.Workers})
 		if grads.Loss < bestLoss {
 			best = pose
 		}
