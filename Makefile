@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet fmt bench verify determinism bench-batch profile
+.PHONY: build test race vet fmt bench verify determinism bench-batch profile serve-demo
 
 build:
 	$(GO) build ./...
@@ -34,13 +34,20 @@ determinism:
 	$(GO) test -count=2 -run Determinism ./internal/splat/...
 
 # Batch-scheduler smoke: perf-me, perf-render (which also gates the
-# contexted-vs-one-shot digests and allocation ratio) and a pipeline
-# experiment through the warm/render scheduler at two jobs, emitting the
-# machine-readable report (CI uploads bench.json so the perf trajectory is
-# recorded). table1 rides along because perf-me alone is dataset-only and
-# would leave the report's per-run wall-time section empty.
+# contexted-vs-one-shot digests and allocation ratio), perf-serve (which
+# gates cross-session digest equality and the context-pool capacity bound)
+# and a pipeline experiment through the warm/render scheduler at two jobs,
+# emitting the machine-readable report (CI uploads bench.json so the perf
+# trajectory is recorded). table1 rides along because perf-me alone is
+# dataset-only and would leave the report's per-run wall-time section empty.
 bench-batch:
-	$(GO) run ./cmd/ags-bench -exp perf-me,perf-render,table1 -jobs 2 -json bench.json -q
+	$(GO) run ./cmd/ags-bench -exp perf-me,perf-render,perf-serve,table1 -jobs 2 -json bench.json -q
+
+# Streaming-server demo: two concurrent camera streams through one
+# slam.Server under the race detector — the quickest end-to-end check that
+# the multi-session surface is race-clean.
+serve-demo:
+	$(GO) run -race ./examples/multistream
 
 # Profile the splat hot path: runs the perf-render experiment under pprof so
 # perf PRs can attach flame-graph evidence instead of eyeballing wall times.

@@ -5,12 +5,14 @@
 //
 //	ags-slam -seq Desk -algo ags
 //	ags-slam -seq Room -algo baseline -frames 60 -w 96 -h 72
+//	ags-slam -seq Desk -algo ags -sessions 4   # concurrent streams, one server
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"sync"
 	"time"
 
 	"ags/internal/hw/platform"
@@ -30,6 +32,7 @@ func main() {
 		noCtx    = flag.Bool("no-render-ctx", false, "disable the frame-persistent render context (one-shot buffers every render; bit-identical, for allocation A/Bs)")
 		listSeq  = flag.Bool("listseq", false, "list sequence names and exit")
 		traceOut = flag.String("trace", "", "write the run's operation trace as JSON to this file")
+		sessions = flag.Int("sessions", 1, "run N copies of the sequence as concurrent slam.Server sessions (digest-asserted against a sequential run)")
 
 		pipelineME   = flag.Bool("pipeline-me", false, "prefetch next frame's motion estimation concurrently with tracking/mapping")
 		codecWorkers = flag.Int("codec-workers", 0, "ME worker goroutines per frame (0 = serial)")
@@ -73,6 +76,14 @@ func main() {
 		os.Exit(1)
 	}
 
+	if *sessions > 1 {
+		if err := runSessions(cfg, seq, *sessions, *traceOut); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+
 	fmt.Printf("running %s pipeline...\n", *algo)
 	start := time.Now()
 	sys := slam.New(cfg, seq.Intr)
@@ -96,6 +107,7 @@ func main() {
 		fmt.Printf("  frame %2d: FC %.2f%s\n", f.Index, float64(last.Covisibility), inf)
 	}
 	res := sys.Finish(*seqName)
+	sys.Close() // return the render context to the pool; PSNR below reuses it
 	elapsed := time.Since(start)
 
 	ate, err := res.ATERMSECm()
@@ -141,4 +153,77 @@ func main() {
 		b := platform.RunTotal(pl, res.Trace)
 		fmt.Printf("  %-12s %8.3f ms/frame  (%.2f J total)\n", pl.Name(), b.TotalNs/float64(tot.Frames)*1e-6, b.EnergyJ)
 	}
+}
+
+// runSessions streams n copies of the sequence as concurrent sessions on one
+// slam.Server and checks every session's Result digest against a sequential
+// slam.Run — the multi-tenant serving mode, with the bounded context pool
+// shared across streams. traceOut, if non-empty, receives the reference
+// run's operation trace (the sessions' traces are digest-identical to it).
+func runSessions(cfg slam.Config, seq *scene.Sequence, n int, traceOut string) error {
+	fmt.Printf("sequential reference run...\n")
+	ref, err := slam.Run(cfg, seq)
+	if err != nil {
+		return err
+	}
+	refDigest := ref.Digest()
+
+	fmt.Printf("running %d concurrent sessions on one server...\n", n)
+	srv := slam.NewServer(slam.ServerConfig{ContextCapacity: n})
+	results := make([]*slam.Result, n)
+	errs := make([]error, n)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			// All sessions carry the sequence's name: the Result label names
+			// the data, and the digest (which covers it) stays comparable.
+			results[i], errs[i] = srv.Run(cfg, seq)
+		}(i)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			return fmt.Errorf("session %d: %w", i, errs[i])
+		}
+		if results[i].Digest() != refDigest {
+			return fmt.Errorf("session %d: result diverged from the sequential run", i)
+		}
+	}
+	if err := srv.Close(); err != nil {
+		return err
+	}
+
+	if traceOut != "" {
+		tf, err := os.Create(traceOut)
+		if err != nil {
+			return err
+		}
+		if err := ref.Trace.WriteJSON(tf); err != nil {
+			tf.Close()
+			return err
+		}
+		if err := tf.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("\ntrace written to %s\n", traceOut)
+	}
+
+	ate, err := ref.ATERMSECm()
+	if err != nil {
+		return err
+	}
+	st := srv.PoolStats()
+	frames := n * len(seq.Frames)
+	fmt.Printf("\nresults for %d sessions over %s:\n", n, seq.Name)
+	fmt.Printf("  digests            all %d sessions identical to sequential run\n", n)
+	fmt.Printf("  ATE RMSE           %.2f cm (per stream)\n", ate)
+	fmt.Printf("  throughput         %.2f frames/s (%d frames in %s)\n",
+		float64(frames)/elapsed.Seconds(), frames, elapsed.Round(time.Millisecond))
+	fmt.Printf("  context pool       %d cap, %d hits / %d misses (%.0f%% hit rate), %d evictions, %.1f KB resident\n",
+		st.Capacity, st.Hits, st.Misses, 100*st.HitRate(), st.Evictions, float64(st.ResidentBytes)/1024)
+	return nil
 }

@@ -1,0 +1,102 @@
+// Multistream: serve several live camera streams from one slam.Server.
+//
+// Each stream is a Session: frames go in with Push (which blocks when the
+// stream outruns its pipeline — backpressure, not buffering), per-frame
+// outcomes come back on Results, and Close drains the queue and returns the
+// final Result. All sessions render through the server's bounded, size-keyed
+// context pool, so N streams share render state instead of each pinning
+// their own forever.
+//
+//	go run ./examples/multistream
+package main
+
+import (
+	"fmt"
+	"log"
+	"sync"
+
+	"ags/internal/scene"
+	"ags/internal/slam"
+)
+
+const (
+	width, height = 48, 36
+	frames        = 8
+)
+
+func main() {
+	// 1. One server per host: it owns the shared render-context pool.
+	srv := slam.NewServer(slam.ServerConfig{ContextCapacity: 2})
+
+	// 2. Two synthetic RGB-D streams (stand-ins for live cameras).
+	names := []string{"Desk", "Room"}
+	var wg sync.WaitGroup
+	results := make([]*slam.Result, len(names))
+	for i, name := range names {
+		seq, err := scene.Generate(name, scene.Config{
+			Width: width, Height: height, Frames: frames, Seed: 1,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		cfg := slam.AGSConfig(width, height)
+		cfg.TrackIters = 20 // scaled-down N_T for a quick demo
+		cfg.PipelineME = true
+
+		sess, err := srv.Open(name, cfg, seq.Intr)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		// 3a. Consume the live per-frame updates of this stream.
+		wg.Add(1)
+		go func(name string, sess *slam.Session) {
+			defer wg.Done()
+			for upd := range sess.Results() {
+				tag := ""
+				if upd.Info.IsKeyFrame {
+					tag = " [keyframe]"
+				}
+				if upd.Info.CoarseOnly {
+					tag += " [coarse-only]"
+				}
+				fmt.Printf("%-5s frame %2d: FC %.2f, %4d gaussians%s\n",
+					name, upd.Index, float64(upd.Info.Covisibility), upd.NumGaussians, tag)
+			}
+		}(name, sess)
+
+		// 3b. Produce the stream's frames.
+		wg.Add(1)
+		go func(i int, sess *slam.Session, seq *scene.Sequence) {
+			defer wg.Done()
+			for _, f := range seq.Frames {
+				if err := sess.Push(f); err != nil {
+					log.Fatal(err)
+				}
+			}
+			res, err := sess.Close()
+			if err != nil {
+				log.Fatal(err)
+			}
+			results[i] = res
+		}(i, sess, seq)
+	}
+	wg.Wait()
+
+	// 4. Final per-stream accuracy plus the shared pool's economics.
+	fmt.Println()
+	for i, name := range names {
+		ate, err := results[i].ATERMSECm()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-5s ATE RMSE %.2f cm over %d frames\n", name, ate, len(results[i].Poses))
+	}
+	st := srv.PoolStats()
+	fmt.Printf("pool  %d/%d contexts resident (%.1f KB), %d hits / %d misses / %d evictions\n",
+		st.Idle, st.Capacity, float64(st.ResidentBytes)/1024, st.Hits, st.Misses, st.Evictions)
+	if err := srv.Close(); err != nil {
+		log.Fatal(err)
+	}
+}

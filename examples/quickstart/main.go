@@ -35,6 +35,7 @@ func main() {
 		}
 	}
 	res := sys.Finish(seq.Name)
+	sys.Close() // return the render context to the pool; PSNR below reuses it
 
 	// 4. Evaluate.
 	ate, err := res.ATERMSECm()

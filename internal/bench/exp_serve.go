@@ -1,0 +1,106 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"ags/internal/scene"
+	"ags/internal/slam"
+)
+
+// serveSeqs are the sequences perf-serve streams through the server. They
+// are deliberately sequences other experiments already warm, so the
+// sequential reference digests come from the shared cache.
+func serveSeqs() []string { return []string{"Desk", "Xyz"} }
+
+func expPerfServe() Experiment {
+	return expDef{
+		id: "perf-serve", paper: "Perf: streaming multi-session server — throughput + context-pool hit rate vs sessions",
+		needs:  specsFor(serveSeqs(), VarAGS),
+		render: (*Suite).PerfServe,
+	}
+}
+
+// PerfServe measures the streaming Server/Session surface: it replays the
+// suite's sequences through one slam.Server at increasing session
+// concurrency, reporting throughput and the shared context pool's
+// hit/miss/eviction counters — and asserts, row by row, that every
+// session's Result digest is bitwise identical to the cached sequential
+// slam.Run of the same (sequence, variant), i.e. that multi-tenant
+// interleaving never leaks into outputs. The final row caps the pool below
+// the session count to exercise LRU eviction under pressure; the bound
+// itself (idle <= capacity) is asserted too.
+func (s *Suite) PerfServe(w io.Writer) error {
+	names := serveSeqs()
+	type ref struct {
+		seq    *scene.Sequence
+		digest [32]byte
+	}
+	refs := make([]ref, len(names))
+	for i, name := range names {
+		b, err := s.Run(Spec(name, VarAGS))
+		if err != nil {
+			return err
+		}
+		refs[i] = ref{seq: b.Seq, digest: b.Result.Digest()}
+	}
+	cfg := s.slamConfig(VarAGS, nil)
+
+	rows := []struct{ sessions, capacity int }{
+		{1, 1},
+		{2, 2},
+		{2, 1}, // capacity under-provisioned: misses + LRU evictions, same digests
+	}
+	t := NewTable(fmt.Sprintf("Perf: slam.Server streaming sessions (%dx%d, %d frames x %d sequences)",
+		s.Cfg.Width, s.Cfg.Height, s.Cfg.Frames, len(names)),
+		"Sessions", "Pool cap", "Wall ms", "Frames/s", "Hits", "Misses", "Evict", "Hit rate", "Resident KB")
+	for _, row := range rows {
+		srv := slam.NewServer(slam.ServerConfig{ContextCapacity: row.capacity})
+		sem := make(chan struct{}, row.sessions)
+		results := make([]*slam.Result, len(refs))
+		errs := make([]error, len(refs))
+		frames := 0
+		start := time.Now()
+		var wg sync.WaitGroup
+		for i, r := range refs {
+			frames += len(r.seq.Frames)
+			wg.Add(1)
+			go func(i int, seq *scene.Sequence) {
+				defer wg.Done()
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				results[i], errs[i] = srv.Run(cfg, seq)
+			}(i, r.seq)
+		}
+		wg.Wait()
+		wall := time.Since(start)
+		for i, err := range errs {
+			if err != nil {
+				return fmt.Errorf("bench: perf-serve session %s: %w", names[i], err)
+			}
+			if results[i].Digest() != refs[i].digest {
+				return fmt.Errorf("bench: perf-serve: session %s (sessions=%d, cap=%d) diverged from sequential run",
+					names[i], row.sessions, row.capacity)
+			}
+		}
+		st := srv.PoolStats()
+		if st.Idle > st.Capacity {
+			return fmt.Errorf("bench: perf-serve: pool idle %d exceeds capacity %d", st.Idle, st.Capacity)
+		}
+		if err := srv.Close(); err != nil {
+			return fmt.Errorf("bench: perf-serve: %w", err)
+		}
+		t.AddRow(row.sessions, row.capacity,
+			fmt.Sprintf("%.1f", float64(wall.Nanoseconds())/1e6),
+			fmt.Sprintf("%.2f", float64(frames)/wall.Seconds()),
+			st.Hits, st.Misses, st.Evictions,
+			fmt.Sprintf("%.2f", st.HitRate()),
+			fmt.Sprintf("%.1f", float64(st.ResidentBytes)/1024))
+	}
+	t.AddNote("every session's Result digest asserted bitwise identical to the cached sequential slam.Run")
+	t.AddNote("last row under-provisions the pool (cap < sessions) to exercise LRU eviction; outputs unchanged")
+	t.Write(w)
+	return nil
+}

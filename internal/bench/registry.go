@@ -90,6 +90,7 @@ func Experiments() []Experiment {
 		expAblOverlap(),
 		expPerfME(),
 		expPerfRender(),
+		expPerfServe(),
 	}
 }
 

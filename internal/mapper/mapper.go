@@ -90,7 +90,9 @@ type Mapper struct {
 	// MapIters hot path allocation-free (nil falls back to one-shot renders;
 	// outputs are bit-identical either way). Not safe for concurrent use —
 	// a pipeline shares one context across its tracker and mapper because
-	// they run sequentially.
+	// they run sequentially. slam threads it per frame-step from its
+	// server's splat.ContextPool, so the field may change identity between
+	// frames.
 	Ctx *splat.RenderContext
 
 	cloud *gauss.Cloud

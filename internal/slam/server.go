@@ -1,0 +1,291 @@
+package slam
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"ags/internal/camera"
+	"ags/internal/frame"
+	"ags/internal/scene"
+	"ags/internal/splat"
+	"ags/internal/vecmath"
+)
+
+// DefaultQueueDepth is each session's default frame-queue length: deep enough
+// to keep the CODEC prefetch one frame ahead, shallow enough that Push
+// exerts backpressure as soon as a stream outruns its pipeline.
+const DefaultQueueDepth = 2
+
+// ServerConfig sizes a Server's shared resources.
+type ServerConfig struct {
+	// ContextCapacity bounds how many idle render contexts the server's
+	// splat.ContextPool retains across sessions (0 = 2 x GOMAXPROCS). In-use
+	// contexts are not counted: a frame-step always gets a context, a miss
+	// just allocates a fresh one.
+	ContextCapacity int
+	// QueueDepth is each session's frame queue length; Push blocks once the
+	// queue is full (0 = DefaultQueueDepth).
+	QueueDepth int
+}
+
+// Server owns the per-host resources live SLAM streams share — today the
+// bounded, size-keyed render-context pool — and opens Sessions over them.
+// Sessions acquire a context per frame-step and return it between frames, so
+// N concurrent streams peak at N resident contexts while idle streams pin
+// none, and outputs stay digest-identical to single-session runs at every
+// worker count and session interleaving (the pipeline shares no mutable
+// state across sessions besides the pool, and pooled contexts carry nothing
+// that affects outputs).
+//
+// A Server is safe for concurrent use.
+type Server struct {
+	cfg  ServerConfig
+	pool *splat.ContextPool
+
+	mu     sync.Mutex
+	open   int
+	closed bool
+}
+
+// NewServer returns a server with its own context pool.
+func NewServer(cfg ServerConfig) *Server {
+	if cfg.ContextCapacity <= 0 {
+		cfg.ContextCapacity = 2 * runtime.GOMAXPROCS(0)
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = DefaultQueueDepth
+	}
+	return &Server{cfg: cfg, pool: splat.NewContextPool(cfg.ContextCapacity)}
+}
+
+var (
+	defaultServerOnce sync.Once
+	defaultServer     *Server
+)
+
+// DefaultServer returns the process-wide server behind the package-level
+// conveniences: Run opens its session here, New draws standalone systems'
+// contexts from its pool, and EvaluatePSNR borrows evaluation contexts from
+// it. Multi-tenant deployments that want their own bounds create a Server
+// explicitly.
+func DefaultServer() *Server {
+	defaultServerOnce.Do(func() { defaultServer = NewServer(ServerConfig{}) })
+	return defaultServer
+}
+
+// ContextPool exposes the server's render-context pool.
+func (sv *Server) ContextPool() *splat.ContextPool { return sv.pool }
+
+// PoolStats snapshots the context pool's counters.
+func (sv *Server) PoolStats() splat.PoolStats { return sv.pool.Stats() }
+
+// OpenSessions returns how many sessions are currently open.
+func (sv *Server) OpenSessions() int {
+	sv.mu.Lock()
+	defer sv.mu.Unlock()
+	return sv.open
+}
+
+// Close marks the server closed so further Opens fail. It errors while
+// sessions are still open — close them first.
+func (sv *Server) Close() error {
+	sv.mu.Lock()
+	defer sv.mu.Unlock()
+	if sv.open > 0 {
+		return fmt.Errorf("slam: server has %d open session(s)", sv.open)
+	}
+	sv.closed = true
+	return nil
+}
+
+// Open starts a live session: one camera stream processed in frame order on
+// a background goroutine, rendering through the server's context pool. The
+// name labels the session's final Result (its Sequence field).
+func (sv *Server) Open(name string, cfg Config, intr camera.Intrinsics) (*Session, error) {
+	sv.mu.Lock()
+	if sv.closed {
+		sv.mu.Unlock()
+		return nil, fmt.Errorf("slam: server is closed")
+	}
+	sv.open++
+	sv.mu.Unlock()
+
+	s := &Session{
+		name:    name,
+		sv:      sv,
+		sys:     newSystem(cfg, intr, sv.pool, true),
+		in:      make(chan *frame.Frame, sv.cfg.QueueDepth),
+		updates: make(chan FrameUpdate, updateBuffer),
+		failed:  make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+	go s.loop()
+	return s, nil
+}
+
+func (sv *Server) sessionClosed() {
+	sv.mu.Lock()
+	sv.open--
+	sv.mu.Unlock()
+}
+
+// Run streams a whole sequence through one session, named after it: the
+// open → push-every-frame → close pattern as a single call, shared by the
+// package-level Run, the serving CLIs, and the bench experiments. On a Push
+// failure the session is closed and the push error returned.
+func (sv *Server) Run(cfg Config, seq *scene.Sequence) (*Result, error) {
+	sess, err := sv.Open(seq.Name, cfg, seq.Intr)
+	if err != nil {
+		return nil, err
+	}
+	for _, f := range seq.Frames {
+		if err := sess.Push(f); err != nil {
+			sess.Close()
+			return nil, err
+		}
+	}
+	return sess.Close()
+}
+
+// updateBuffer sizes the best-effort Results stream. A consumer that keeps
+// up never drops; one that stalls loses updates (counted by Dropped) rather
+// than stalling the pipeline.
+const updateBuffer = 64
+
+// FrameUpdate is one frame's streamed outcome: the estimated pose and the
+// per-frame algorithm decisions, published right after the frame is
+// processed.
+type FrameUpdate struct {
+	Index        int // 0-based position in the session's stream
+	Pose         vecmath.Pose
+	Info         FrameInfo
+	NumGaussians int // active Gaussians after the frame
+}
+
+// Session is one live SLAM sequence on a Server. The producer side (Push,
+// Close) must be driven from a single goroutine; processing happens on the
+// session's own goroutine, and per-frame outcomes stream on Results. Close
+// drains the queue and returns the final Result — the same value a
+// single-tenant Run of the same frames produces, digest for digest.
+type Session struct {
+	name string
+	sv   *Server
+	sys  *System
+
+	in      chan *frame.Frame
+	updates chan FrameUpdate
+	failed  chan struct{} // closed when processing hits an error
+	done    chan struct{} // closed when the worker goroutine exits
+
+	closeOnce sync.Once
+	closed    bool // set by Close before the queue channel closes
+	dropped   atomic.Uint64
+
+	// res and err are written by the worker before done closes and read
+	// only after <-done (or <-failed for err), so access is race-free.
+	res *Result
+	err error
+}
+
+// Name returns the session's label.
+func (s *Session) Name() string { return s.name }
+
+// Push enqueues the next frame of the stream. It blocks while the session's
+// queue is full — the backpressure that keeps a fast producer from
+// outrunning the pipeline — and fails once the session has errored or been
+// closed. Push and Close must come from the same goroutine (one producer per
+// session).
+func (s *Session) Push(f *frame.Frame) error {
+	if s.closed {
+		return fmt.Errorf("slam: session %q: push after Close", s.name)
+	}
+	select {
+	case <-s.failed:
+		return fmt.Errorf("session %q: %w", s.name, s.err) // s.err carries the slam: prefix
+	default:
+	}
+	select {
+	case s.in <- f:
+		return nil
+	case <-s.failed:
+		return fmt.Errorf("session %q: %w", s.name, s.err)
+	}
+}
+
+// Results returns the session's per-frame update stream. Delivery is
+// best-effort: a consumer that falls more than updateBuffer frames behind
+// loses the overflow (see Dropped); the authoritative output is Close's
+// Result. The channel closes when the session finishes.
+func (s *Session) Results() <-chan FrameUpdate { return s.updates }
+
+// Dropped returns how many FrameUpdates were discarded because no consumer
+// kept up with Results.
+func (s *Session) Dropped() uint64 { return s.dropped.Load() }
+
+// Close ends the stream: no more frames are accepted, the queued ones are
+// processed, and the final Result is returned. It is idempotent — further
+// calls return the same Result — and safe to call after a Push error.
+func (s *Session) Close() (*Result, error) {
+	s.closeOnce.Do(func() {
+		s.closed = true
+		close(s.in)
+	})
+	<-s.done
+	return s.res, s.err
+}
+
+// loop is the session's worker: frames in queue order, with the same
+// CODEC-prefetch call sequence Run historically used under PipelineME —
+// frame t's ME against t+1 launches as soon as t+1 arrives, right before t
+// is processed, so the encode of the next frame overlaps the current frame's
+// tracking/mapping.
+func (s *Session) loop() {
+	defer close(s.done)
+	defer s.sv.sessionClosed()
+	defer close(s.updates)
+	var pending *frame.Frame // one-frame lookahead under PipelineME
+	for f := range s.in {
+		if s.err != nil {
+			continue // drain so blocked producers unblock; error surfaces at Close
+		}
+		if s.sys.Cfg.PipelineME {
+			if pending != nil {
+				s.sys.Prefetch(pending, f)
+				s.process(pending)
+			}
+			pending = f
+			continue
+		}
+		s.process(f)
+	}
+	if s.err == nil && pending != nil {
+		s.process(pending) // the final frame has no successor to prefetch against
+	}
+	if s.err == nil {
+		s.res = s.sys.Finish(s.name)
+	}
+	s.sys.Close()
+}
+
+// process runs one frame through the system and publishes its update.
+func (s *Session) process(f *frame.Frame) {
+	if err := s.sys.ProcessFrame(f); err != nil {
+		s.err = err
+		close(s.failed)
+		return
+	}
+	n := s.sys.frameCount - 1
+	upd := FrameUpdate{
+		Index:        n,
+		Pose:         s.sys.poses[n],
+		Info:         s.sys.info[n],
+		NumGaussians: s.sys.traceFrames[n].NumGaussians,
+	}
+	select {
+	case s.updates <- upd:
+	default:
+		s.dropped.Add(1)
+	}
+}

@@ -1,0 +1,309 @@
+package slam
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"ags/internal/scene"
+)
+
+// directRun drives a standalone System over the sequence (the pre-session
+// call pattern, including the PipelineME prefetch order) and closes it.
+func directRun(t *testing.T, cfg Config, seq *scene.Sequence) *Result {
+	t.Helper()
+	sys := New(cfg, seq.Intr)
+	defer sys.Close()
+	for i, f := range seq.Frames {
+		if cfg.PipelineME && i+1 < len(seq.Frames) {
+			sys.Prefetch(f, seq.Frames[i+1])
+		}
+		if err := sys.ProcessFrame(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return sys.Finish(seq.Name)
+}
+
+// sessionRun streams the sequence through one session of srv.
+func sessionRun(t *testing.T, srv *Server, cfg Config, seq *scene.Sequence) *Result {
+	t.Helper()
+	sess, err := srv.Open(seq.Name, cfg, seq.Intr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range seq.Frames {
+		if err := sess.Push(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := sess.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestSessionMatchesDirectSystem(t *testing.T) {
+	seq := testSeq(t, "Desk", 6)
+	for _, tc := range []struct {
+		name string
+		mut  func(*Config)
+	}{
+		{"serial", func(*Config) {}},
+		{"pipelined", func(cfg *Config) { cfg.PipelineME = true; cfg.CodecWorkers = 3 }},
+		{"no-render-ctx", func(cfg *Config) { cfg.NoRenderCtx = true }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := fastAGS(tw, th)
+			tc.mut(&cfg)
+			want := directRun(t, cfg, seq)
+			srv := NewServer(ServerConfig{})
+			got := sessionRun(t, srv, cfg, seq)
+			assertSameRun(t, want, got)
+			if want.Digest() != got.Digest() {
+				t.Error("session digest diverged from direct System run")
+			}
+		})
+	}
+}
+
+// TestConcurrentSessionsMatchSequential is the cross-session determinism
+// regression: N live sessions interleaving on one server — with a context
+// pool deliberately smaller than the session count, so contexts recycle
+// across streams mid-sequence — must produce per-sequence Results bitwise
+// identical to N sequential runs.
+func TestConcurrentSessionsMatchSequential(t *testing.T) {
+	names := []string{"Desk", "Xyz", "Room"}
+	cfg := fastAGS(tw, th)
+	cfg.PipelineME = true
+	cfg.CodecWorkers = 2
+
+	want := make(map[string][32]byte)
+	for _, name := range names {
+		seq := testSeq(t, name, 6)
+		res, err := Run(cfg, seq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[name] = res.Digest()
+	}
+
+	srv := NewServer(ServerConfig{ContextCapacity: 1}) // force cross-session recycling
+	var wg sync.WaitGroup
+	got := make([][32]byte, len(names))
+	errs := make([]error, len(names))
+	for i, name := range names {
+		seq := testSeq(t, name, 6)
+		wg.Add(1)
+		go func(i int, seq *scene.Sequence) {
+			defer wg.Done()
+			res, err := srv.Run(cfg, seq)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			got[i] = res.Digest()
+		}(i, seq)
+	}
+	wg.Wait()
+	for i, name := range names {
+		if errs[i] != nil {
+			t.Fatalf("session %s: %v", name, errs[i])
+		}
+		if got[i] != want[name] {
+			t.Errorf("session %s: concurrent digest diverged from sequential run", name)
+		}
+	}
+	st := srv.PoolStats()
+	if st.Idle > st.Capacity {
+		t.Errorf("pool idle %d exceeds capacity %d", st.Idle, st.Capacity)
+	}
+	if st.Hits == 0 {
+		t.Error("no pool hits across three sessions — per-step recycling broken")
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSessionResultsStream(t *testing.T) {
+	seq := testSeq(t, "Desk", 5)
+	srv := NewServer(ServerConfig{})
+	sess, err := srv.Open(seq.Name, fastAGS(tw, th), seq.Intr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var updates []FrameUpdate
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for upd := range sess.Results() {
+			updates = append(updates, upd)
+		}
+	}()
+	for _, f := range seq.Frames {
+		if err := sess.Push(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := sess.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	if sess.Dropped() != 0 {
+		t.Fatalf("%d updates dropped with a live consumer", sess.Dropped())
+	}
+	if len(updates) != len(seq.Frames) {
+		t.Fatalf("got %d updates, want %d", len(updates), len(seq.Frames))
+	}
+	for i, upd := range updates {
+		if upd.Index != i {
+			t.Errorf("update %d has index %d", i, upd.Index)
+		}
+		if upd.Pose != res.Poses[i] {
+			t.Errorf("update %d pose diverges from final result", i)
+		}
+		if upd.Info != res.Info[i] {
+			t.Errorf("update %d info diverges from final result", i)
+		}
+	}
+	if !updates[0].Info.IsKeyFrame {
+		t.Error("bootstrap frame not flagged as key frame in its update")
+	}
+}
+
+func TestSessionErrorSurfacesOnPushAndClose(t *testing.T) {
+	seq := testSeq(t, "Desk", 2)
+	wrong := scene.MustGenerate("Desk", scene.Config{Width: 32, Height: 24, Frames: 2, Seed: 1})
+	srv := NewServer(ServerConfig{})
+	sess, err := srv.Open(seq.Name, fastAGS(tw, th), seq.Intr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Push(wrong.Frames[0]); err != nil {
+		t.Fatalf("push itself failed: %v", err) // the queue accepts; processing rejects
+	}
+	// The worker fails the frame; subsequent pushes must surface the error
+	// (possibly after a few queue-buffered accepts).
+	var pushErr error
+	for i := 0; i < 10 && pushErr == nil; i++ {
+		pushErr = sess.Push(seq.Frames[0])
+	}
+	if pushErr == nil {
+		t.Error("pushes kept succeeding after a processing failure")
+	}
+	res, err := sess.Close()
+	if err == nil || !strings.Contains(err.Error(), "does not match camera") {
+		t.Errorf("Close error = %v, want frame-size mismatch", err)
+	}
+	if res != nil {
+		t.Error("failed session returned a Result")
+	}
+}
+
+func TestSessionPushAfterCloseFails(t *testing.T) {
+	seq := testSeq(t, "Desk", 2)
+	srv := NewServer(ServerConfig{})
+	sess, err := srv.Open(seq.Name, fastAGS(tw, th), seq.Intr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Push(seq.Frames[0]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Push(seq.Frames[1]); err == nil {
+		t.Error("push after Close succeeded")
+	}
+	// Close is idempotent: the second call returns the same result.
+	res, err := sess.Close()
+	if err != nil || res == nil {
+		t.Errorf("second Close = (%v, %v)", res, err)
+	}
+}
+
+func TestSystemCloseReleasesContextToPool(t *testing.T) {
+	seq := testSeq(t, "Desk", 2)
+	srv := NewServer(ServerConfig{ContextCapacity: 4})
+	sys := newSystem(fastAGS(tw, th), seq.Intr, srv.ContextPool(), false)
+	for _, f := range seq.Frames {
+		if err := sys.ProcessFrame(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := srv.PoolStats(); st.Idle != 0 {
+		t.Fatalf("pinned context counted idle (%d)", st.Idle)
+	}
+	sys.Close()
+	if st := srv.PoolStats(); st.Idle != 1 {
+		t.Fatalf("idle=%d after Close, want 1", st.Idle)
+	}
+	sys.Close() // idempotent
+	if st := srv.PoolStats(); st.Idle != 1 {
+		t.Fatalf("idle=%d after double Close, want 1", st.Idle)
+	}
+	// The system is still usable: the next frame re-acquires (a pool hit).
+	// Frame 0 re-processed out of order is fine here; the pipeline accepts
+	// any validated frame.
+	if err := sys.ProcessFrame(seq.Frames[0]); err != nil {
+		t.Fatalf("ProcessFrame after Close: %v", err)
+	}
+	if st := srv.PoolStats(); st.Hits == 0 {
+		t.Error("re-acquire after Close did not hit the pool")
+	}
+	sys.Close()
+}
+
+func TestServerLifecycle(t *testing.T) {
+	seq := testSeq(t, "Desk", 1)
+	srv := NewServer(ServerConfig{})
+	sess, err := srv.Open(seq.Name, fastCfg(tw, th), seq.Intr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := srv.OpenSessions(); n != 1 {
+		t.Errorf("open sessions = %d, want 1", n)
+	}
+	if err := srv.Close(); err == nil {
+		t.Error("server Close succeeded with an open session")
+	}
+	if _, err := sess.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if n := srv.OpenSessions(); n != 0 {
+		t.Errorf("open sessions = %d after close, want 0", n)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv.Open(seq.Name, fastCfg(tw, th), seq.Intr); err == nil {
+		t.Error("Open succeeded on a closed server")
+	}
+}
+
+func TestResultDigestDistinguishesRuns(t *testing.T) {
+	seq := testSeq(t, "Desk", 4)
+	a, err := Run(fastAGS(tw, th), seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(fastAGS(tw, th), seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Digest() != b.Digest() {
+		t.Error("identical runs digest differently")
+	}
+	c, err := Run(fastCfg(tw, th), seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Digest() == c.Digest() {
+		t.Error("AGS and baseline runs digest identically")
+	}
+}

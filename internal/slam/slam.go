@@ -6,6 +6,15 @@
 // individually switchable so the ablation of Fig. 18 and the Droid+SplaTAM
 // comparison of Table 4 come from the same pipeline.
 //
+// Serving: the public surface is streaming and multi-tenant. A Server owns
+// the per-host resources (a bounded, size-keyed splat.ContextPool) and opens
+// Sessions — one live sequence each, driven by Push (with backpressure),
+// observed on Results, finalized by Close. System remains the synchronous
+// single-stream engine underneath, and Run is a thin wrapper that streams a
+// whole scene.Sequence through one session on DefaultServer. Concurrent
+// sessions produce Results digest-identical to sequential runs at every
+// worker count and interleaving (Result.Digest asserts it cheaply).
+//
 // Concurrency: the paper's timing model has the CODEC encode (and therefore
 // motion-estimate) frame t+1 while the accelerator tracks and maps frame t,
 // making the SAD byproduct free by the time it is needed. Config.PipelineME
@@ -180,7 +189,9 @@ func (r *Result) ATERMSECm() (float64, error) {
 	return ate * 100, err
 }
 
-// System is a streaming 3DGS-SLAM instance.
+// System is a synchronous single-stream 3DGS-SLAM instance: the engine a
+// Session drives, also usable directly when the caller owns the frame loop.
+// Call Close when done so the system's render context returns to its pool.
 type System struct {
 	Cfg  Config
 	Intr camera.Intrinsics
@@ -190,11 +201,19 @@ type System struct {
 	aligner  *tracker.CoarseAligner
 	detector *covis.Detector
 	backbone *nnlite.PoseBackbone
-	// renderCtx is the system's frame-persistent splat render context,
-	// shared by the tracker and mapper (they run sequentially within
-	// ProcessFrame) and sized lazily from the intrinsics on first render.
-	// Nil under Config.NoRenderCtx — every render then falls back to the
-	// one-shot path.
+	// pool supplies the render context ProcessFrame attaches; nil under
+	// Config.NoRenderCtx (every render then falls back to the one-shot
+	// path). Standalone systems draw from DefaultServer's pool; sessions
+	// share their server's.
+	pool *splat.ContextPool
+	// perStep makes ProcessFrame release the context back to the pool after
+	// every frame instead of pinning it between frames — the multi-tenant
+	// mode sessions run in, so idle streams hold no render state.
+	perStep bool
+	// renderCtx is the currently attached splat render context, shared by
+	// the tracker and mapper (they run sequentially within ProcessFrame) and
+	// sized lazily from the intrinsics on first render. Acquired from pool
+	// on demand; nil when detached or under Config.NoRenderCtx.
 	renderCtx *splat.RenderContext
 
 	prevFrame   *frame.Frame
@@ -210,8 +229,18 @@ type System struct {
 	pending     []*mePrefetch // in-flight CODEC ME jobs (see prefetch.go)
 }
 
-// New returns a system for the given camera.
+// New returns a standalone system for the given camera, drawing its render
+// context from DefaultServer's pool. The context is pinned across frames
+// (frame-persistent hot path); call Close to return it. Multi-stream callers
+// should open Sessions on a Server instead.
 func New(cfg Config, intr camera.Intrinsics) *System {
+	return newSystem(cfg, intr, DefaultServer().ContextPool(), false)
+}
+
+// newSystem builds a system over the given context pool. perStep selects the
+// session mode: acquire/release the context around every frame-step rather
+// than pinning it for the system's lifetime.
+func newSystem(cfg Config, intr camera.Intrinsics, pool *splat.ContextPool, perStep bool) *System {
 	mcfg := cfg.Mapper
 	mcfg.Workers = cfg.Workers
 	if cfg.Backbone == BackboneGaussianSLAM {
@@ -227,27 +256,58 @@ func New(cfg Config, intr camera.Intrinsics) *System {
 	detector.Cfg.Workers = cfg.CodecWorkers
 	detector.Cfg.EarlyTerm = cfg.CodecEarlyTerm
 	m := mapper.New(mcfg)
-	var ctx *splat.RenderContext
-	if !cfg.NoRenderCtx {
-		ctx = splat.NewRenderContext()
-		refiner.Ctx = ctx
-		m.Ctx = ctx
+	if cfg.NoRenderCtx {
+		pool = nil
 	}
 	return &System{
-		Cfg:       cfg,
-		Intr:      intr,
-		mapper:    m,
-		refiner:   refiner,
-		aligner:   tracker.NewCoarseAligner(),
-		detector:  detector,
-		backbone:  nnlite.NewPoseBackbone(7),
-		renderCtx: ctx,
-		prevRel:   vecmath.PoseIdentity(),
+		Cfg:      cfg,
+		Intr:     intr,
+		mapper:   m,
+		refiner:  refiner,
+		aligner:  tracker.NewCoarseAligner(),
+		detector: detector,
+		backbone: nnlite.NewPoseBackbone(7),
+		pool:     pool,
+		perStep:  perStep,
+		prevRel:  vecmath.PoseIdentity(),
 	}
 }
 
 // Mapper exposes the mapping state (for experiments).
 func (s *System) Mapper() *mapper.Mapper { return s.mapper }
+
+// attachCtx acquires a render context from the pool (sized for the system's
+// camera) and threads it through the tracker and mapper. A no-op when one is
+// already attached or the system runs context-free (Config.NoRenderCtx).
+func (s *System) attachCtx() {
+	if s.pool == nil || s.renderCtx != nil {
+		return
+	}
+	ctx := s.pool.Acquire(s.Intr.W, s.Intr.H)
+	s.renderCtx = ctx
+	s.refiner.Ctx = ctx
+	s.mapper.Ctx = ctx
+}
+
+// detachCtx unthreads the attached context and releases it to the pool.
+func (s *System) detachCtx() {
+	if s.renderCtx == nil {
+		return
+	}
+	s.refiner.Ctx = nil
+	s.mapper.Ctx = nil
+	s.pool.Release(s.renderCtx)
+	s.renderCtx = nil
+}
+
+// Close releases the system's render context back to its pool. It is
+// idempotent, and the system remains usable — the next ProcessFrame
+// re-acquires a context — but callers should treat Close as the end of the
+// stream: Run, sessions, and the CLIs all close their systems so contexts
+// are reclaimed instead of leaking one per run.
+func (s *System) Close() {
+	s.detachCtx()
+}
 
 // ProcessFrame ingests the next frame of the stream.
 func (s *System) ProcessFrame(f *frame.Frame) error {
@@ -258,6 +318,7 @@ func (s *System) ProcessFrame(f *frame.Frame) error {
 		return fmt.Errorf("slam: frame %dx%d does not match camera %dx%d",
 			f.Color.W, f.Color.H, s.Intr.W, s.Intr.H)
 	}
+	s.attachCtx()
 	ft := trace.FrameTrace{Index: s.frameCount}
 	var info FrameInfo
 
@@ -275,6 +336,11 @@ func (s *System) ProcessFrame(f *frame.Frame) error {
 	s.frameCount++
 	if s.Cfg.PruneEvery > 0 && s.frameCount%s.Cfg.PruneEvery == 0 {
 		s.mapper.Prune()
+	}
+	if s.perStep {
+		// Session mode: hand the context back between frames so an idle
+		// stream pins no render state and the pool can serve other sessions.
+		s.detachCtx()
 	}
 	return nil
 }
@@ -446,32 +512,30 @@ func (s *System) Finish(sequence string) *Result {
 	}
 }
 
-// Run executes the pipeline over a whole sequence. With cfg.PipelineME the
-// next frame's motion estimation is launched before each frame is processed,
-// so the CODEC stage overlaps the tracking/mapping work exactly as the
-// paper's frame walk-through times it.
+// Run executes the pipeline over a whole sequence: a thin wrapper that opens
+// one Session on DefaultServer, pushes every frame, and closes it. With
+// cfg.PipelineME the session launches the next frame's motion estimation
+// before each frame is processed, so the CODEC stage overlaps the
+// tracking/mapping work exactly as the paper's frame walk-through times it —
+// the same call order the pre-session Run produced, byte for byte.
 func Run(cfg Config, seq *scene.Sequence) (*Result, error) {
-	sys := New(cfg, seq.Intr)
-	for i, f := range seq.Frames {
-		if cfg.PipelineME && i+1 < len(seq.Frames) {
-			sys.Prefetch(f, seq.Frames[i+1])
-		}
-		if err := sys.ProcessFrame(f); err != nil {
-			return nil, err
-		}
-	}
-	return sys.Finish(seq.Name), nil
+	return DefaultServer().Run(cfg, seq)
 }
 
 // EvaluatePSNR renders every stride-th frame from its estimated pose and
-// returns the mean PSNR against the observed images (Fig. 14's metric).
+// returns the mean PSNR against the observed images (Fig. 14's metric). The
+// render context comes from DefaultServer's pool (reused across frames; PSNR
+// reads each render before the next), so evaluation allocates no private
+// context per call.
 func EvaluatePSNR(res *Result, seq *scene.Sequence, stride int) (float64, error) {
 	if stride < 1 {
 		stride = 1
 	}
 	var sum float64
 	var n int
-	ctx := splat.NewRenderContext() // reused across frames; PSNR reads each render before the next
+	pool := DefaultServer().ContextPool()
+	ctx := pool.Acquire(seq.Intr.W, seq.Intr.H)
+	defer pool.Release(ctx)
 	for i := 0; i < len(seq.Frames); i += stride {
 		cam := camera.Camera{Intr: seq.Intr, Pose: res.Poses[i]}
 		r := ctx.Render(res.Cloud, cam, splat.Options{})

@@ -1,0 +1,212 @@
+package splat
+
+import (
+	"sync"
+	"unsafe"
+
+	"ags/internal/vecmath"
+)
+
+// PoolStats is a snapshot of a ContextPool's counters.
+type PoolStats struct {
+	// Capacity is the configured bound on retained idle contexts.
+	Capacity int
+	// Idle is how many contexts the pool currently retains (always <= Capacity).
+	Idle int
+	// Hits counts Acquire calls served by a retained context of the requested
+	// size class; Misses counts Acquire calls that allocated a fresh context.
+	Hits, Misses uint64
+	// Evictions counts contexts dropped to keep Idle within Capacity.
+	Evictions uint64
+	// ResidentBytes estimates the heap bytes held by the retained idle
+	// contexts (see RenderContext.FootprintBytes). In-use contexts are the
+	// borrower's to account for.
+	ResidentBytes int64
+}
+
+// HitRate returns Hits / (Hits + Misses), or 0 before the first Acquire.
+func (s PoolStats) HitRate() float64 {
+	if s.Hits+s.Misses == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Hits+s.Misses)
+}
+
+// sizeClass keys pooled contexts by the frame size their buffers are sized
+// for, so a stream acquiring for its own resolution gets warm buffers back
+// instead of re-growing another stream's.
+type sizeClass struct{ W, H int }
+
+// pooledCtx is one retained idle context with its accounting.
+type pooledCtx struct {
+	ctx   *RenderContext
+	bytes int64
+	seq   uint64 // release order; the global minimum is the LRU entry
+}
+
+// ContextPool is a bounded, size-keyed set of RenderContexts shared by many
+// streams: the per-host resource a multi-session SLAM server pins render
+// state in without unbounded memory growth. Acquire never blocks — a miss
+// allocates a fresh context — and Release retains at most Capacity idle
+// contexts, evicting the least-recently-used one (across all size classes)
+// beyond that. Within a size class, Acquire returns the most recently
+// released context (warmest caches first).
+//
+// A ContextPool is safe for concurrent use; the contexts it hands out are
+// not — each borrower owns its context exclusively until Release. Contexts
+// carry no state between borrowers that affects outputs (every buffer is
+// re-zeroed or fully overwritten per call), so pooled and fresh contexts are
+// byte-identical to render through.
+type ContextPool struct {
+	mu        sync.Mutex
+	capacity  int
+	seq       uint64
+	idle      map[sizeClass][]pooledCtx // per-class LIFO stacks, oldest at [0]
+	nIdle     int
+	hits      uint64
+	misses    uint64
+	evictions uint64
+	resident  int64
+}
+
+// NewContextPool returns a pool retaining at most capacity idle contexts
+// (minimum 1).
+func NewContextPool(capacity int) *ContextPool {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &ContextPool{capacity: capacity, idle: make(map[sizeClass][]pooledCtx)}
+}
+
+// Capacity returns the configured idle-context bound.
+func (p *ContextPool) Capacity() int { return p.capacity }
+
+// Acquire returns a context for rendering w x h frames: a retained context of
+// that size class when one is idle (hit), a fresh one otherwise (miss). The
+// caller owns the context exclusively until Release.
+func (p *ContextPool) Acquire(w, h int) *RenderContext {
+	key := sizeClass{W: w, H: h}
+	p.mu.Lock()
+	if stack := p.idle[key]; len(stack) > 0 {
+		e := stack[len(stack)-1]
+		p.idle[key] = stack[:len(stack)-1]
+		p.nIdle--
+		p.hits++
+		p.resident -= e.bytes
+		p.mu.Unlock()
+		return e.ctx
+	}
+	p.misses++
+	p.mu.Unlock()
+	return NewRenderContext()
+}
+
+// Release returns a context to the pool, keyed by the frame size its buffers
+// are currently sized for. If the pool is at capacity, the least-recently-
+// used idle context (of any size class) is evicted and left to the garbage
+// collector. Results and gradients previously returned by ctx are
+// invalidated: the next borrower will overwrite them. A nil ctx is a no-op.
+func (p *ContextPool) Release(ctx *RenderContext) {
+	if p == nil || ctx == nil {
+		return
+	}
+	key := sizeClass{W: ctx.color.W, H: ctx.color.H}
+	bytes := ctx.FootprintBytes()
+	p.mu.Lock()
+	p.seq++
+	p.idle[key] = append(p.idle[key], pooledCtx{ctx: ctx, bytes: bytes, seq: p.seq})
+	p.nIdle++
+	p.resident += bytes
+	for p.nIdle > p.capacity {
+		p.evictLRULocked()
+	}
+	p.mu.Unlock()
+}
+
+// evictLRULocked drops the globally least-recently-used idle context. Each
+// class stack is pushed in release order and popped LIFO, so its [0] entry is
+// that class's oldest; the global LRU is the minimum seq among stack bottoms.
+func (p *ContextPool) evictLRULocked() {
+	var victimKey sizeClass
+	var victimSeq uint64
+	found := false
+	for key, stack := range p.idle {
+		if len(stack) == 0 {
+			continue
+		}
+		if !found || stack[0].seq < victimSeq {
+			victimKey, victimSeq, found = key, stack[0].seq, true
+		}
+	}
+	if !found {
+		return
+	}
+	stack := p.idle[victimKey]
+	p.resident -= stack[0].bytes
+	if len(stack) == 1 {
+		delete(p.idle, victimKey)
+	} else {
+		p.idle[victimKey] = append(stack[:0], stack[1:]...)
+	}
+	p.nIdle--
+	p.evictions++
+}
+
+// Stats returns a snapshot of the pool's counters.
+func (p *ContextPool) Stats() PoolStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return PoolStats{
+		Capacity:      p.capacity,
+		Idle:          p.nIdle,
+		Hits:          p.hits,
+		Misses:        p.misses,
+		Evictions:     p.evictions,
+		ResidentBytes: p.resident,
+	}
+}
+
+// FootprintBytes estimates the heap bytes retained by the context's buffers
+// (slice capacities times element sizes; the fixed-size struct header is not
+// counted). The pool uses it for its resident-bytes metric.
+func (ctx *RenderContext) FootprintBytes() int64 {
+	if ctx == nil {
+		return 0
+	}
+	b := sliceBytes[Splat](cap(ctx.splats)) +
+		sliceBytes[int32](cap(ctx.tiles.Offsets)) +
+		sliceBytes[int32](cap(ctx.tiles.Entries)) +
+		sliceBytes[int32](cap(ctx.tileCursor)) +
+		sliceBytes[vecmath.Vec3](cap(ctx.color.Pix)) +
+		sliceBytes[float64](cap(ctx.depth.D)) +
+		sliceBytes[float64](cap(ctx.result.Silhouette)) +
+		sliceBytes[float64](cap(ctx.result.FinalT)) +
+		sliceBytes[int32](cap(ctx.result.PerPixelBlend)) +
+		sliceBytes[int32](cap(ctx.result.PerPixelAlpha)) +
+		sliceBytes[int32](cap(ctx.result.NonContrib)) +
+		sliceBytes[int32](cap(ctx.result.Touched)) +
+		sliceBytes[[2]int](cap(ctx.ranges)) +
+		sliceBytes[int64](cap(ctx.ops)) +
+		sliceBytes[int32](cap(ctx.contrib)) +
+		sliceBytes[float64](cap(ctx.arena.lossByTile)) +
+		sliceBytes[vecmath.Twist](cap(ctx.arena.poseByTile)) +
+		sliceBytes[vecmath.Vec3](cap(ctx.arena.mean)) +
+		sliceBytes[vecmath.Vec3](cap(ctx.arena.color)) +
+		sliceBytes[float64](cap(ctx.arena.logit)) +
+		sliceBytes[float64](cap(ctx.arena.logScale)) +
+		sliceBytes[vecmath.Vec3](cap(ctx.grads.Mean)) +
+		sliceBytes[vecmath.Vec3](cap(ctx.grads.Color)) +
+		sliceBytes[float64](cap(ctx.grads.Logit)) +
+		sliceBytes[float64](cap(ctx.grads.LogScale)) +
+		sliceBytes[[]contribution](cap(ctx.bwScratch))
+	for _, sc := range ctx.bwScratch {
+		b += sliceBytes[contribution](cap(sc))
+	}
+	return b
+}
+
+// sliceBytes returns the heap bytes of a slice with capacity n of T.
+func sliceBytes[T any](n int) int64 {
+	var t T
+	return int64(n) * int64(unsafe.Sizeof(t))
+}

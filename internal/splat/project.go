@@ -32,6 +32,15 @@
 // an internal pool (bypassed by Options.NoPool / BackwardOptions.NoPool) and
 // hand the output buffers to the caller before returning it.
 //
+// Multi-stream hosts share contexts through a ContextPool: a bounded set
+// keyed by (W, H) size class with LRU eviction and hit/miss/eviction/
+// resident-bytes metrics. Acquire never blocks (a miss allocates fresh),
+// Release retains at most Capacity idle contexts, and pooled contexts carry
+// nothing between borrowers that affects outputs — rendering through a
+// recycled context is byte-identical to a fresh one, which is what lets many
+// SLAM sessions interleave on one pool without perturbing each other (see
+// package slam's Server).
+//
 // Lifecycle and aliasing rules:
 //
 //   - A context is NOT safe for concurrent use. One goroutine, one context;

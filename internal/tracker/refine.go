@@ -26,7 +26,10 @@ type GSRefiner struct {
 	// back to one-shot renders; outputs are bit-identical either way). The
 	// refiner borrows the context only for the duration of a call — callers
 	// may share one context across the tracker and mapper of a pipeline, but
-	// not across goroutines.
+	// not across goroutines. slam threads it per frame-step: the system
+	// attaches a context from its server's splat.ContextPool before the
+	// step and (in session mode) detaches it after, so the field may change
+	// identity between frames.
 	Ctx *splat.RenderContext
 }
 
