@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet fmt bench verify determinism bench-batch profile serve-demo
+.PHONY: build test race vet fmt lint bench verify determinism bench-batch profile serve-demo
 
 build:
 	$(GO) build ./...
@@ -16,15 +16,23 @@ race:
 vet:
 	$(GO) vet ./...
 
+# Repo-specific static analysis: ags-vet enforces the determinism contract
+# (no map-iteration-order leaks, no wall-clock/global-rand reads, no rogue
+# goroutine launch sites in internal packages) and the zero-alloc contract
+# (//ags:hotpath functions must not allocate). Suppressions live next to the
+# code as //ags:allow(check, reason); there is no baseline file.
+lint:
+	$(GO) run ./cmd/ags-vet ./...
+
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 bench:
 	$(GO) test -bench=. -benchtime=1x .
 
-# Tier-1 gate: formatting, static checks, and the full test suite under the
-# race detector so new concurrency is always race-checked.
-verify: fmt vet
+# Tier-1 gate: formatting, static checks (vet + ags-vet), and the full test
+# suite under the race detector so new concurrency is always race-checked.
+verify: fmt vet lint
 	$(GO) test -race ./...
 
 # Determinism gate: run the splat sharding equivalence tests twice so a

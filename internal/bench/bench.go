@@ -23,6 +23,7 @@ package bench
 import (
 	"fmt"
 	"io"
+	"maps"
 	"sync"
 	"time"
 
@@ -280,13 +281,13 @@ func (s *Suite) Run(spec RunSpec) (*Bundle, error) {
 			return nil, fmt.Errorf("bench: run %s: %w", id, err)
 		}
 		s.logf("# running %s ...\n", id)
-		start := time.Now()
+		start := wallNow()
 		res, err := slam.Run(s.slamConfig(spec.Variant, spec.Override), seq)
 		if err != nil {
 			return nil, fmt.Errorf("bench: run %s: %w", id, err)
 		}
 		s.mu.Lock()
-		s.times[id] = time.Since(start)
+		s.times[id] = wallSince(start)
 		s.mu.Unlock()
 		return &Bundle{Seq: seq, Result: res}, nil
 	})
@@ -322,11 +323,7 @@ func (s *Suite) warm(spec RunSpec) error {
 func (s *Suite) Timings() map[string]time.Duration {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	out := make(map[string]time.Duration, len(s.times))
-	for k, v := range s.times {
-		out[k] = v
-	}
-	return out
+	return maps.Clone(s.times)
 }
 
 // contributionStats renders frame fi of the bundle at its estimated pose

@@ -265,3 +265,12 @@ func TestTableFormatting(t *testing.T) {
 		t.Fatalf("too few lines:\n%s", out)
 	}
 }
+
+func TestTimingsReturnsACopy(t *testing.T) {
+	s := NewSuite(tinyCfg())
+	got := s.Timings()
+	got["intruder"] = 1
+	if _, ok := s.Timings()["intruder"]; ok {
+		t.Error("mutating the returned map leaked into the suite's internal timings")
+	}
+}

@@ -71,14 +71,14 @@ func (s *Suite) PerfME(out io.Writer) error {
 		if _, err = codec.MotionEstimate(prev, cur, cfg); err != nil {
 			return 0, nil, err
 		}
-		start := time.Now()
+		start := wallNow()
 		for r := 0; r < reps; r++ {
 			res, err = codec.MotionEstimate(prev, cur, cfg)
 			if err != nil {
 				return 0, nil, err
 			}
 		}
-		return time.Since(start) / reps, res, nil
+		return wallSince(start) / reps, res, nil
 	}
 
 	cores := runtime.GOMAXPROCS(0)
@@ -130,18 +130,18 @@ func (s *Suite) PerfME(out io.Writer) error {
 	pipeCfg.PipelineME = true
 	pipeCfg.CodecWorkers = cores
 
-	startS := time.Now()
+	startS := wallNow()
 	serialRun, err := slam.Run(serialCfg, seq)
 	if err != nil {
 		return err
 	}
-	serialWall := time.Since(startS)
-	startP := time.Now()
+	serialWall := wallSince(startS)
+	startP := wallNow()
 	pipeRun, err := slam.Run(pipeCfg, seq)
 	if err != nil {
 		return err
 	}
-	pipeWall := time.Since(startP)
+	pipeWall := wallSince(startP)
 	for i := range serialRun.Poses {
 		if serialRun.Poses[i] != pipeRun.Poses[i] {
 			return fmt.Errorf("bench: pipelined frontend diverged from serial at frame %d", i)

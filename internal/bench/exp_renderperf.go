@@ -59,16 +59,16 @@ func (s *Suite) PerfRender(w io.Writer) error {
 		// first configuration measured.
 		sm.res = splat.Render(cloud, cam, renderOpts(workers))
 		sm.grads = splat.Backward(cloud, cam, sm.res, target, lc, backOpts(workers))
-		start := time.Now()
+		start := wallNow()
 		for r := 0; r < reps; r++ {
 			sm.res = splat.Render(cloud, cam, renderOpts(workers))
 		}
-		sm.renderT = time.Since(start) / reps
-		start = time.Now()
+		sm.renderT = wallSince(start) / reps
+		start = wallNow()
 		for r := 0; r < reps; r++ {
 			sm.grads = splat.Backward(cloud, cam, sm.res, target, lc, backOpts(workers))
 		}
-		sm.backT = time.Since(start) / reps
+		sm.backT = wallSince(start) / reps
 		return sm
 	}
 
@@ -128,20 +128,20 @@ func (s *Suite) PerfRender(w io.Writer) error {
 		wantRes, wantG := res.Digest(), g.Digest()
 		var m0, m1 runtime.MemStats
 		runtime.ReadMemStats(&m0)
-		start := time.Now()
+		start := wallNow()
 		for r := 0; r < reps; r++ {
 			res = render()
 		}
-		renderNs = float64(time.Since(start).Nanoseconds()) / reps
+		renderNs = float64(wallSince(start).Nanoseconds()) / reps
 		runtime.ReadMemStats(&m1)
 		renderAllocs = float64(m1.Mallocs-m0.Mallocs) / reps
 
 		runtime.ReadMemStats(&m0)
-		start = time.Now()
+		start = wallNow()
 		for r := 0; r < reps; r++ {
 			g = back(res)
 		}
-		backNs = float64(time.Since(start).Nanoseconds()) / reps
+		backNs = float64(wallSince(start).Nanoseconds()) / reps
 		runtime.ReadMemStats(&m1)
 		backAllocs = float64(m1.Mallocs-m0.Mallocs) / reps
 		if res.Digest() != wantRes || g.Digest() != wantG {

@@ -84,7 +84,7 @@ func RunBatch(s *Suite, exps []Experiment, jobs int, out io.Writer) (*Report, er
 	}
 	plan := PlanSpecs(exps)
 	pre := s.Timings()
-	start := time.Now()
+	start := wallNow()
 
 	errs := make([]error, len(plan))
 	sem := make(chan struct{}, jobs)
@@ -113,7 +113,7 @@ func RunBatch(s *Suite, exps []Experiment, jobs int, out io.Writer) (*Report, er
 			return nil, err
 		}
 	}
-	warm := time.Since(start)
+	warm := wallSince(start)
 
 	rep := &Report{Jobs: jobs, Specs: len(plan)}
 	times := s.Timings()
@@ -132,19 +132,19 @@ func RunBatch(s *Suite, exps []Experiment, jobs int, out io.Writer) (*Report, er
 		})
 	}
 
-	renderStart := time.Now()
+	renderStart := wallNow()
 	for _, e := range exps {
-		estart := time.Now()
+		estart := wallNow()
 		if err := e.Render(s, out); err != nil {
 			return nil, fmt.Errorf("%s: %w", e.ID(), err)
 		}
 		rep.Experiments = append(rep.Experiments, ExperimentReport{
-			ID: e.ID(), Paper: e.Paper(), RenderMS: ms(time.Since(estart)),
+			ID: e.ID(), Paper: e.Paper(), RenderMS: ms(wallSince(estart)),
 		})
 	}
 	rep.WarmMS = ms(warm)
-	rep.RenderMS = ms(time.Since(renderStart))
-	rep.TotalMS = ms(time.Since(start))
+	rep.RenderMS = ms(wallSince(renderStart))
+	rep.TotalMS = ms(wallSince(start))
 	return rep, nil
 }
 

@@ -1,0 +1,53 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+)
+
+// checkGoroutineSite flags `go` statements in critical packages whose
+// enclosing function is not on the approved launch-site allowlist
+// (Config.GoroutineSites). The repo's concurrency is deliberately confined
+// to a handful of reviewed worker pools whose reductions run in a fixed
+// order; a goroutine launched anywhere else is presumed to bypass that
+// design until it is either added to the list or justified with
+// //ags:allow(goroutine-site, reason).
+func checkGoroutineSite(p *pass) {
+	for _, file := range p.pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			key := p.pkg.Path + "." + funcKey(fd)
+			if p.cfg.GoroutineSites[key] {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if g, ok := n.(*ast.GoStmt); ok {
+					p.reportAt(g.Pos(), CheckGoroutine,
+						fmt.Sprintf("go statement in %s, which is not an approved worker-pool launch site — add it to the allowlist (with its ordered-reduction design reviewed) or justify with //ags:allow(goroutine-site, reason)", key))
+				}
+				return true
+			})
+		}
+	}
+}
+
+// funcKey renders a declaration the way the allowlist spells it: Name for
+// functions, (*T).Name / (T).Name for methods.
+func funcKey(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return fd.Name.Name
+	}
+	t := fd.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		if id, ok := star.X.(*ast.Ident); ok {
+			return "(*" + id.Name + ")." + fd.Name.Name
+		}
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return "(" + id.Name + ")." + fd.Name.Name
+	}
+	return fd.Name.Name
+}

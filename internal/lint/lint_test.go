@@ -1,0 +1,223 @@
+package lint
+
+import (
+	"fmt"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// corpusConfig analyzes the golden corpus under testdata/src with the same
+// shape of configuration the real tree uses: a critical-prefix scope and a
+// goroutine-site allowlist.
+func corpusConfig(t *testing.T) Config {
+	t.Helper()
+	dir, err := filepath.Abs(filepath.Join("testdata", "src"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Config{
+		Dir:              dir,
+		CriticalPrefixes: []string{"x/crit/"},
+		GoroutineSites:   map[string]bool{"x/crit/gr.ApprovedLaunch": true},
+	}
+}
+
+// mark is one expected finding: a "want <check...>" marker in a corpus file.
+type mark struct {
+	file  string // corpus-root-relative, forward slashes
+	line  int
+	check string
+}
+
+func (m mark) String() string { return fmt.Sprintf("%s:%d [%s]", m.file, m.line, m.check) }
+
+// wantMarks parses every corpus file and collects its want markers. A marker
+// is any comment whose text starts with "want " followed by space-separated
+// check names; it expects those findings on its own line. Block-comment
+// markers (/* want directive */) let directive-diagnostic lines carry a
+// marker without the marker text being swallowed into the directive.
+func wantMarks(t *testing.T, root string) []mark {
+	t.Helper()
+	var marks []mark
+	fset := token.NewFileSet()
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() || !strings.HasSuffix(path, ".go") {
+			return err
+		}
+		file, perr := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if perr != nil {
+			return perr
+		}
+		rel, rerr := filepath.Rel(root, path)
+		if rerr != nil {
+			return rerr
+		}
+		rel = filepath.ToSlash(rel)
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimSuffix(strings.TrimPrefix(strings.TrimPrefix(c.Text, "/*"), "//"), "*/"))
+				checks, ok := strings.CutPrefix(text, "want ")
+				if !ok {
+					continue
+				}
+				line := fset.Position(c.Pos()).Line
+				for _, check := range strings.Fields(checks) {
+					marks = append(marks, mark{file: rel, line: line, check: check})
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return marks
+}
+
+// TestGoldenCorpus runs every check over the corpus and diffs the findings
+// against the want markers in both directions: a finding without a marker is
+// a false positive, a marker without a finding is a false negative. The
+// x/crit/enginesbroken package is the acceptance golden: it reproduces the
+// pre-fix SimulateLogging hot-set ranking, so deleting the sorted-ranking
+// fix from the real tree recreates a shape this test proves ags-vet flags.
+func TestGoldenCorpus(t *testing.T) {
+	cfg := corpusConfig(t)
+	findings, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	got := make(map[mark]bool)
+	for _, f := range findings {
+		got[mark{file: f.File, line: f.Line, check: f.Check}] = true
+	}
+	want := make(map[mark]bool)
+	for _, m := range wantMarks(t, cfg.Dir) {
+		want[m] = true
+	}
+
+	var missing, extra []string
+	for m := range want {
+		if !got[m] {
+			missing = append(missing, m.String())
+		}
+	}
+	for m := range got {
+		if !want[m] {
+			extra = append(extra, m.String())
+		}
+	}
+	sort.Strings(missing)
+	sort.Strings(extra)
+	for _, m := range missing {
+		t.Errorf("expected finding not reported: %s", m)
+	}
+	for _, m := range extra {
+		t.Errorf("unexpected finding: %s", m)
+	}
+	if t.Failed() {
+		for _, f := range findings {
+			t.Logf("reported: %s", f)
+		}
+	}
+}
+
+// TestBrokenHotSetIsCaught pins the ISSUE acceptance criterion explicitly:
+// the pre-fix SimulateLogging shapes (order-dependent admission, and
+// collect-without-sort — i.e. the fixed shape with its slices.SortFunc call
+// deleted) must each produce a maprange finding, while the repaired shape in
+// x/crit/enginesfixed stays clean with no suppression.
+func TestBrokenHotSetIsCaught(t *testing.T) {
+	findings, err := Run(corpusConfig(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	broken := 0
+	for _, f := range findings {
+		switch {
+		case strings.HasPrefix(f.File, "crit/enginesfixed/"):
+			t.Errorf("fixed hot-set ranking flagged: %s", f)
+		case strings.HasPrefix(f.File, "crit/enginesbroken/") && f.Check == CheckMapRange:
+			broken++
+		}
+	}
+	if broken != 2 {
+		t.Errorf("want 2 maprange findings in crit/enginesbroken, got %d", broken)
+	}
+}
+
+// TestChecksFilter verifies -checks style filtering: a maprange-only run
+// reports maprange findings and malformed-directive diagnostics (those are
+// unconditional) but no other checks and no stale-suppression findings — a
+// suppression for a disabled check legitimately matches nothing.
+func TestChecksFilter(t *testing.T) {
+	cfg := corpusConfig(t)
+	cfg.Checks = []string{CheckMapRange}
+	findings, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawMapRange := false
+	for _, f := range findings {
+		switch f.Check {
+		case CheckMapRange:
+			sawMapRange = true
+		case checkDirective:
+			if strings.Contains(f.Message, "suppresses nothing") {
+				t.Errorf("filtered run reported a stale suppression: %s", f)
+			}
+		default:
+			t.Errorf("filtered run leaked check %q: %s", f.Check, f)
+		}
+	}
+	if !sawMapRange {
+		t.Fatal("maprange-only run reported no maprange findings; corpus has positives")
+	}
+}
+
+// TestUnknownCheckRejected verifies check-name validation.
+func TestUnknownCheckRejected(t *testing.T) {
+	cfg := corpusConfig(t)
+	cfg.Checks = []string{"speling"}
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("unknown check name accepted")
+	}
+}
+
+// TestFindingString pins the file:line:col: [check] message format the CLI,
+// CI log matchers and editors rely on.
+func TestFindingString(t *testing.T) {
+	f := Finding{File: "internal/splat/render.go", Line: 42, Col: 7, Check: CheckHotAlloc, Message: "make allocates"}
+	want := "internal/splat/render.go:42:7: [hotalloc] make allocates"
+	if got := f.String(); got != want {
+		t.Errorf("Finding.String() = %q, want %q", got, want)
+	}
+}
+
+// TestRepoIsClean is the self-test: ags-vet over this repository must report
+// nothing. Every real finding has been fixed or carries a written
+// //ags:allow justification, and stale suppressions are findings themselves,
+// so this test failing means a contract regression (or a leftover excuse)
+// snuck into the tree.
+func TestRepoIsClean(t *testing.T) {
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(root, "go.mod")); err != nil {
+		t.Fatalf("repo root not found: %v", err)
+	}
+	findings, err := Run(Config{Dir: root})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range findings {
+		t.Errorf("repo not vet-clean: %s", f)
+	}
+}

@@ -1,0 +1,86 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// timeNondet lists the package-level time functions that read the wall or
+// monotonic clock. Constructors of values (time.Date, time.Unix) and pure
+// arithmetic (Duration methods) are fine; what the check bans from critical
+// packages is sampling "now".
+var timeNondet = map[string]bool{
+	"Now": true, "Since": true, "Until": true,
+	"After": true, "Tick": true,
+	"NewTimer": true, "NewTicker": true, "AfterFunc": true,
+}
+
+// randConstructors are the math/rand (and v2) package-level functions that
+// build explicitly-seeded generators rather than drawing from the shared
+// global source; they are the sanctioned path.
+var randConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	"NewPCG": true, "NewChaCha8": true,
+}
+
+// checkNondetSource flags run-to-run nondeterministic value sources in
+// critical packages: wall-clock reads, draws from the global math/rand
+// source (seeded randomly at program start; rand.New(rand.NewSource(seed))
+// and methods on the resulting *rand.Rand are fine — seeding is explicit by
+// construction), and select statements with two or more communication cases,
+// where the runtime picks uniformly among ready cases.
+func checkNondetSource(p *pass) {
+	info := p.pkg.Info
+	for _, file := range p.pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SelectorExpr:
+				fn, ok := info.Uses[n.Sel].(*types.Func)
+				if !ok || fn.Pkg() == nil {
+					return true
+				}
+				if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+					return true // methods (e.g. on a seeded *rand.Rand) are fine
+				}
+				pkg, name := fn.Pkg().Path(), fn.Name()
+				switch {
+				case pkg == "time" && timeNondet[name]:
+					p.reportAt(n.Pos(), CheckNondet,
+						fmt.Sprintf("time.%s reads the clock — outputs must not depend on wall time (wrap and justify if this is operator-facing timing)", name))
+				case (pkg == "math/rand" || pkg == "math/rand/v2") && !randConstructors[name]:
+					p.reportAt(n.Pos(), CheckNondet,
+						fmt.Sprintf("%s.%s draws from the global random source — use rand.New(rand.NewSource(seed)) with a configured seed", pkgBase(pkg), name))
+				}
+			case *ast.SelectStmt:
+				comm := 0
+				for _, c := range n.Body.List {
+					if cc, ok := c.(*ast.CommClause); ok && cc.Comm != nil {
+						comm++
+					}
+				}
+				if comm >= 2 {
+					p.reportAt(n.Pos(), CheckNondet,
+						fmt.Sprintf("select with %d communication cases — the runtime picks randomly among ready cases; restructure or justify that every winner yields identical output", comm))
+				}
+			}
+			return true
+		})
+	}
+}
+
+func pkgBase(path string) string {
+	for i := len(path) - 1; i >= 0; i-- {
+		if path[i] == '/' {
+			return path[i+1:]
+		}
+	}
+	return path
+}
+
+// reportAt is the common "finding at this position" helper.
+func (p *pass) reportAt(pos token.Pos, check, msg string) {
+	file, line, col := p.pkg.Position(pos)
+	p.report(Finding{File: file, Line: line, Col: col, Check: check, Message: msg})
+}

@@ -1,0 +1,34 @@
+// Package dir is the directive-diagnostics golden corpus: malformed //ags:
+// comments, unknown check names, suppressions that match nothing, and
+// //ags:hotpath markers outside a function doc comment. The want markers sit
+// in block comments BEFORE each directive so they are not swallowed into the
+// directive text itself.
+package dir
+
+func touch(int) {}
+
+// Malformed directives: not hotpath and not a well-formed allow(...).
+
+/* want directive */ //ags:frobnicate
+
+/* want directive */ //ags:allow(maprange)
+
+/* want directive */ //ags:allow(, empty check name)
+
+// Unknown check name.
+
+/* want directive */ //ags:allow(speling, the check name has a typo)
+
+// Stale: a well-formed allow whose target line produces no finding.
+
+// Stale justifies nothing below — the loop it excused was fixed long ago.
+/* want directive */ //ags:allow(maprange, this loop was rewritten to sort its keys)
+func Stale() {
+	touch(1)
+}
+
+// Misplaced reports //ags:hotpath outside a function doc comment.
+func Misplaced() {
+	/* want directive */ //ags:hotpath
+	touch(2)
+}

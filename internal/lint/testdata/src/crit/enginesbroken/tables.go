@@ -1,0 +1,36 @@
+// Package enginesbroken is the pre-fix hot-set ranking that once lived in
+// internal/hw/engines.SimulateLogging: it admits candidates straight out of
+// map iteration, so the simulated ATS hot set — and every digest downstream
+// of it — depended on runtime map order. Reintroducing either shape in a
+// critical package must trip the maprange check; this package is the golden
+// proof.
+package enginesbroken
+
+// HotSet fills the hot set during iteration with a capacity guard that reads
+// loop-written state: which ids win the last slots is order-dependent.
+func HotSet(freq map[int32]int, capN int) map[int32]bool {
+	hot := make(map[int32]bool, capN)
+	for id, f := range freq { // want maprange
+		if f < 2 {
+			continue
+		}
+		if len(hot) >= capN {
+			break
+		}
+		hot[id] = true
+	}
+	return hot
+}
+
+// HotSetUnsorted collects candidates but never imposes a total order — the
+// exact bug the PR-3 fix removed (delete the slices.SortFunc call from the
+// fixed shape and you get this, which must fail the build).
+func HotSetUnsorted(freq map[int32]int) []int32 {
+	cands := make([]int32, 0, len(freq))
+	for id, f := range freq { // want maprange
+		if f >= 2 {
+			cands = append(cands, id)
+		}
+	}
+	return cands
+}

@@ -1,0 +1,28 @@
+// Package enginesfixed mirrors the repaired hot-set ranking in
+// internal/hw/engines.SimulateLogging: candidates are collected from the
+// frequency map, then a total order (frequency descending, id ascending) is
+// imposed before truncation. The checker accepts this shape with no
+// suppression because the appended slice is sorted after the loop.
+package enginesfixed
+
+import "slices"
+
+// HotSet ranks ids seen at least twice and keeps the top capN.
+func HotSet(freq map[int32]int, capN int) []int32 {
+	cands := make([]int32, 0, len(freq))
+	for id, f := range freq {
+		if f >= 2 {
+			cands = append(cands, id)
+		}
+	}
+	slices.SortFunc(cands, func(a, b int32) int {
+		if freq[a] != freq[b] {
+			return freq[b] - freq[a]
+		}
+		return int(a) - int(b)
+	})
+	if len(cands) > capN {
+		cands = cands[:capN]
+	}
+	return cands
+}

@@ -1,0 +1,29 @@
+// Package gr is the goroutine-site golden corpus: the harness allowlists
+// x/crit/gr.ApprovedLaunch, so its go statement is clean, while the same
+// statement elsewhere needs an //ags:allow or trips the check.
+package gr
+
+import "sync"
+
+// ApprovedLaunch is on the test allowlist: a registered concurrency site.
+func ApprovedLaunch(n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+		}()
+	}
+	wg.Wait()
+}
+
+// RogueLaunch spawns from an unregistered site.
+func RogueLaunch(done chan struct{}) {
+	go close(done) // want goroutine-site
+}
+
+// JustifiedLaunch spawns from an unregistered site with a written reason.
+func JustifiedLaunch(done chan struct{}) {
+	//ags:allow(goroutine-site, fire-and-forget close; nothing downstream observes scheduling)
+	go close(done)
+}

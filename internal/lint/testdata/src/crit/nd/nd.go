@@ -1,0 +1,66 @@
+// Package nd is the nondetsource golden corpus: wall-clock reads, the
+// global (unseeded) math/rand state, and multi-way selects are flagged;
+// seeded generators, duration constants, and single-case or defaulted
+// selects are not.
+package nd
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Stamp reads the wall clock.
+func Stamp() time.Time {
+	return time.Now() // want nondetsource
+}
+
+// Elapsed reads the wall clock through Since.
+func Elapsed(t0 time.Time) time.Duration {
+	return time.Since(t0) // want nondetsource
+}
+
+// GlobalDraw consumes the process-global, randomly seeded source.
+func GlobalDraw() int {
+	return rand.Intn(10) // want nondetsource
+}
+
+// SeededDraw builds an explicitly seeded generator; constructors and methods
+// on the resulting *rand.Rand are reproducible and stay clean.
+func SeededDraw(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(10)
+}
+
+// Racy races two receives; which case fires depends on scheduling.
+func Racy(a, b chan int) int {
+	select { // want nondetsource
+	case v := <-a:
+		return v
+	case v := <-b:
+		return v
+	}
+}
+
+// Polite has one comm case plus default: no scheduling race to flag.
+func Polite(a chan int) int {
+	select {
+	case v := <-a:
+		return v
+	default:
+		return 0
+	}
+}
+
+// Justified races two drains whose winner is observationally equivalent.
+func Justified(a, b chan int) {
+	//ags:allow(nondetsource, both cases drain to the same sink and the winner never reaches an output)
+	select {
+	case <-a:
+	case <-b:
+	}
+}
+
+// Patience uses time only for arithmetic on durations, never the clock.
+func Patience(n int) time.Duration {
+	return time.Duration(n) * time.Millisecond
+}

@@ -1,0 +1,3 @@
+module x
+
+go 1.24

@@ -1,0 +1,79 @@
+// Package hot is the hotalloc golden corpus. It deliberately lives OUTSIDE
+// the critical prefixes: hotalloc follows //ags:hotpath annotations, not
+// package paths, so annotated functions here are checked while unannotated
+// ones (and determinism checks) are not.
+package hot
+
+type point struct{ x, y float64 }
+
+// Ctx mimics a render context that owns reusable buffers.
+type Ctx struct {
+	buf []float64
+}
+
+// Fill is the good citizen: amortized growth under a cap guard, appends into
+// a buffer derived from the context, and stack-only values.
+//
+//ags:hotpath
+func (c *Ctx) Fill(xs []float64) float64 {
+	if cap(c.buf) < len(xs) {
+		c.buf = make([]float64, len(xs))
+	}
+	c.buf = c.buf[:0]
+	out := c.buf
+	for _, x := range xs {
+		out = append(out, 2*x)
+	}
+	var acc [4]float64
+	p := point{1, 2}
+	s := p.x * 0
+	for _, v := range out {
+		s += v
+	}
+	return s + acc[0]
+}
+
+// Grow allocates every way the check knows how to flag.
+//
+//ags:hotpath
+func Grow(n int) []float64 {
+	m := map[int]int{} // want hotalloc
+	_ = m
+	s := make([]float64, n) // want hotalloc
+	lit := []int{1, 2, 3}   // want hotalloc
+	_ = lit
+	p := &point{1, 2} // want hotalloc
+	_ = p
+	q := new(point) // want hotalloc
+	_ = q
+	f := func() int { return n } // want hotalloc
+	_ = f()
+	var acc []float64
+	for i := 0; i < n; i++ {
+		acc = append(acc, float64(i)) // want hotalloc
+	}
+	_ = acc
+	return s
+}
+
+// Cold is unannotated: the same constructs are fine off the hot path.
+func Cold(n int) []float64 {
+	out := make([]float64, n)
+	return append(out, float64(n))
+}
+
+// Fallback justifies a closure on a rare path, mirroring the sort-fallback
+// pattern in the splat tile sorter.
+//
+//ags:hotpath
+func Fallback(xs []int) {
+	if len(xs) > 32 {
+		//ags:allow(hotalloc, comparator closure only on the rare long-input fallback; the common path allocates nothing)
+		sortFunc(xs, func(a, b int) int { return a - b })
+	}
+}
+
+func sortFunc(xs []int, cmp func(a, b int) int) {
+	_ = cmp
+	_ = xs
+}

@@ -1,0 +1,26 @@
+// Package plain lives outside the critical prefixes: the determinism checks
+// (maprange, nondetsource, goroutine-site) do not apply here, so constructs
+// that would be findings in x/crit stay clean.
+package plain
+
+import "time"
+
+// KeysUnsorted leaks map order — a maprange finding in a critical package,
+// silent here.
+func KeysUnsorted(m map[string]int) []string {
+	var ks []string
+	for k := range m {
+		ks = append(ks, k)
+	}
+	return ks
+}
+
+// Launch spawns from an unregistered site — silent outside x/crit.
+func Launch(done chan struct{}) {
+	go close(done)
+}
+
+// Stamp reads the wall clock — silent outside x/crit.
+func Stamp() time.Time {
+	return time.Now()
+}

@@ -106,6 +106,14 @@ type Mapper struct {
 	skipSet []bool
 	// keyframes retained for the multi-view loss.
 	keyframes []Keyframe
+
+	// applyGrads's flattened parameter/gradient views, grown to the cloud
+	// size once and reused across mapping iterations so the optimizer step
+	// allocates nothing in steady state.
+	pMean, gMean   []float64
+	pColor, gColor []float64
+	pLogit, gLogit []float64
+	pScale, gScale []float64
 }
 
 // New returns an empty mapper.
@@ -270,6 +278,8 @@ func (m *Mapper) SelectiveMapping(f *frame.Frame, intr camera.Intrinsics, pose v
 }
 
 // optimize is the shared mapping loop.
+//
+//ags:hotpath
 func (m *Mapper) optimize(f *frame.Frame, intr camera.Intrinsics, pose vecmath.Pose, skip []bool, logContrib bool) (trace.RenderStats, [][]int32) {
 	var stats trace.RenderStats
 	var logIDs [][]int32
@@ -352,17 +362,21 @@ func (m *Mapper) ContribCount() []int32 {
 }
 
 // applyGrads steps the per-group Adam optimizers over the flattened
-// parameters of the active Gaussians.
+// parameters of the active Gaussians. The flattened views live on the
+// Mapper and are fully rewritten below before the optimizer reads them, so
+// reusing them across iterations changes no output.
+//
+//ags:hotpath
 func (m *Mapper) applyGrads(grads *splat.Grads) {
 	n := m.cloud.Len()
-	means := make([]float64, 3*n)
-	meanG := make([]float64, 3*n)
-	colors := make([]float64, 3*n)
-	colorG := make([]float64, 3*n)
-	logits := make([]float64, n)
-	logitG := make([]float64, n)
-	scales := make([]float64, n)
-	scaleG := make([]float64, n)
+	means := grown(&m.pMean, 3*n)
+	meanG := grown(&m.gMean, 3*n)
+	colors := grown(&m.pColor, 3*n)
+	colorG := grown(&m.gColor, 3*n)
+	logits := grown(&m.pLogit, n)
+	logitG := grown(&m.gLogit, n)
+	scales := grown(&m.pScale, n)
+	scaleG := grown(&m.gScale, n)
 	for id := 0; id < n; id++ {
 		g := m.cloud.At(id)
 		means[3*id], means[3*id+1], means[3*id+2] = g.Mean.X, g.Mean.Y, g.Mean.Z
@@ -385,6 +399,18 @@ func (m *Mapper) applyGrads(grads *splat.Grads) {
 		g.Logit = logits[id]
 		g.LogScale = vecmath.Vec3{X: scales[id], Y: scales[id], Z: scales[id]}
 	}
+}
+
+// grown resizes *buf to n reusing its capacity (no clearing — callers
+// overwrite every element before reading), returning the resized view.
+//
+//ags:hotpath
+func grown(buf *[]float64, n int) []float64 {
+	if cap(*buf) < n {
+		*buf = make([]float64, n)
+	}
+	*buf = (*buf)[:n]
+	return *buf
 }
 
 func absf(x float64) float64 {

@@ -4,7 +4,10 @@
 // slices so callers can expose any view of their state.
 package optim
 
-import "math"
+import (
+	"maps"
+	"math"
+)
 
 // Optimizer updates a parameter vector in place given its gradient.
 type Optimizer interface {
@@ -88,13 +91,10 @@ type GroupAdam struct {
 	rates  map[string]float64
 }
 
-// NewGroupAdam returns a GroupAdam with the given per-group learning rates.
+// NewGroupAdam returns a GroupAdam with the given per-group learning rates
+// (copied, so later caller mutations don't leak in).
 func NewGroupAdam(rates map[string]float64) *GroupAdam {
-	g := &GroupAdam{groups: make(map[string]*Adam), rates: make(map[string]float64, len(rates))}
-	for k, v := range rates {
-		g.rates[k] = v
-	}
-	return g
+	return &GroupAdam{groups: make(map[string]*Adam), rates: maps.Clone(rates)}
 }
 
 // Step updates one group. Unknown group names fall back to learning rate 1e-3.
@@ -113,6 +113,7 @@ func (g *GroupAdam) Step(group string, params, grads []float64) {
 
 // Reset clears every group's state.
 func (g *GroupAdam) Reset() {
+	//ags:allow(maprange, Adam.Reset zeroes each group's own state and reads nothing shared, so visit order cannot matter)
 	for _, opt := range g.groups {
 		opt.Reset()
 	}

@@ -125,3 +125,15 @@ func TestClipGradNorm(t *testing.T) {
 		t.Error("clip modified small gradient")
 	}
 }
+
+func TestNewGroupAdamCopiesRates(t *testing.T) {
+	rates := map[string]float64{"mean": 0.5}
+	g := NewGroupAdam(rates)
+	rates["mean"] = 0 // caller mutation after construction must not leak in
+
+	withRate := []float64{0}
+	g.Step("mean", withRate, []float64{1})
+	if withRate[0] == 0 {
+		t.Error("Step with rate 0.5 moved nothing — NewGroupAdam aliased the caller's rates map")
+	}
+}

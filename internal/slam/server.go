@@ -206,6 +206,7 @@ func (s *Session) Push(f *frame.Frame) error {
 		return fmt.Errorf("session %q: %w", s.name, s.err) // s.err carries the slam: prefix
 	default:
 	}
+	//ags:allow(nondetsource, both winners agree: once failed is closed the worker drains in without processing, so a frame that won the race to enqueue is discarded and this call's error return is the same either way)
 	select {
 	case s.in <- f:
 		return nil

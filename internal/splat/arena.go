@@ -23,6 +23,8 @@ type backwardArena struct {
 
 // zeroed returns s resized to n with every element cleared, reusing its
 // capacity when possible.
+//
+//ags:hotpath
 func zeroed[T any](s []T, n int) []T {
 	if cap(s) < n {
 		return make([]T, n)
@@ -35,6 +37,8 @@ func zeroed[T any](s []T, n int) []T {
 // resized returns s resized to n without clearing it: for buffers every
 // element of which is overwritten before being read (the assigned-not-
 // accumulated pixel planes).
+//
+//ags:hotpath
 func resized[T any](s []T, n int) []T {
 	if cap(s) < n {
 		return make([]T, n)

@@ -92,6 +92,8 @@ func Backward(cloud *gauss.Cloud, cam camera.Camera, res *Result, target *frame.
 // valid, per the package aliasing rules. The returned Grads aliases the
 // context and is valid until its next Backward or Reset call. A nil context
 // falls back to the one-shot package function.
+//
+//ags:hotpath
 func (ctx *RenderContext) Backward(cloud *gauss.Cloud, cam camera.Camera, res *Result, target *frame.Frame, loss LossConfig, opts BackwardOptions) *Grads {
 	if ctx == nil {
 		return Backward(cloud, cam, res, target, loss, opts)
@@ -154,6 +156,7 @@ func (ctx *RenderContext) Backward(cloud *gauss.Cloud, cam camera.Camera, res *R
 		var wg sync.WaitGroup
 		for wi := range ranges {
 			wg.Add(1)
+			//ags:allow(hotalloc, worker closures exist only on the multi-worker path; the Workers=1 path above is the one the perf-render allocation gate measures allocation-free)
 			go func(wi int) {
 				defer wg.Done()
 				ctx.backwardShard(cloud, cam, res, target, loss, opts, ranges[wi], norm, wi)
@@ -183,6 +186,8 @@ func (ctx *RenderContext) Backward(cloud *gauss.Cloud, cam camera.Camera, res *R
 
 // backwardShard walks one worker's contiguous tile span in ascending order,
 // accumulating per-tile partials into the context's arena.
+//
+//ags:hotpath
 func (ctx *RenderContext) backwardShard(cloud *gauss.Cloud, cam camera.Camera, res *Result, target *frame.Frame,
 	loss LossConfig, opts BackwardOptions, span [2]int, norm float64, wi int) {
 
@@ -211,6 +216,8 @@ func (ctx *RenderContext) backwardShard(cloud *gauss.Cloud, cam camera.Camera, r
 // gradient slices are per-tile slots indexed by position in the tile's
 // Gaussian table (NOT by Gaussian ID); Backward folds them into the per-ID
 // output buffers in fixed tile order.
+//
+//ags:hotpath
 func backwardOneTile(cloud *gauss.Cloud, cam camera.Camera, res *Result, target *frame.Frame,
 	loss LossConfig, opts BackwardOptions, tileIdx int, norm float64,
 	gMean, gColor []vecmath.Vec3, gLogit, gLogScale []float64,

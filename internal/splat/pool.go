@@ -130,6 +130,7 @@ func (p *ContextPool) evictLRULocked() {
 	var victimKey sizeClass
 	var victimSeq uint64
 	found := false
+	//ags:allow(maprange, min-reduction over globally unique seq values: every visit order selects the same victim)
 	for key, stack := range p.idle {
 		if len(stack) == 0 {
 			continue

@@ -180,3 +180,41 @@ func TestFootprintBytes(t *testing.T) {
 		t.Error("nil context footprint not 0")
 	}
 }
+
+// TestContextPoolEvictionOrderIsMapOrderIndependent backs the
+// //ags:allow(maprange) on evictLRULocked: the eviction scan ranges over the
+// idle-class map, which is only sound because it is a min-reduction over
+// globally unique release sequence numbers. Rebuild the same overflow
+// situation many times — different runs randomize Go's map iteration order —
+// and require the identical eviction sequence every time.
+func TestContextPoolEvictionOrderIsMapOrderIndependent(t *testing.T) {
+	sizes := []struct{ w, h int }{{64, 48}, {32, 24}, {48, 36}, {16, 12}, {80, 60}}
+	survivors := func() [2][2]int {
+		p := NewContextPool(2)
+		ctxs := make([]*RenderContext, len(sizes))
+		for i, sz := range sizes {
+			ctxs[i] = p.Acquire(sz.w, sz.h)
+			useContext(t, ctxs[i], sz.w, sz.h)
+		}
+		for _, ctx := range ctxs {
+			p.Release(ctx) // three of these five releases must evict, oldest-first
+		}
+		if got := p.Stats().Evictions; got != 3 {
+			t.Fatalf("evictions=%d, want 3", got)
+		}
+		// LRU means exactly the two most recently released classes survive.
+		var out [2][2]int
+		for i, sz := range sizes[len(sizes)-2:] {
+			if p.Acquire(sz.w, sz.h) == ctxs[len(sizes)-2+i] {
+				out[i] = [2]int{sz.w, sz.h}
+			}
+		}
+		return out
+	}
+	want := survivors()
+	for run := 1; run < 20; run++ {
+		if got := survivors(); got != want {
+			t.Fatalf("run %d evicted differently: survivors %v, want %v", run, got, want)
+		}
+	}
+}

@@ -115,6 +115,8 @@ type Splat struct {
 
 // ProjectGaussian projects one Gaussian through the camera. ok is false when
 // the Gaussian is behind the near plane or degenerate.
+//
+//ags:hotpath
 func ProjectGaussian(g *gauss.Gaussian, cam camera.Camera) (Splat, bool) {
 	pc := cam.Pose.Apply(g.Mean)
 	if pc.Z < 0.05 {
@@ -176,6 +178,8 @@ func Preprocess(cloud *gauss.Cloud, cam camera.Camera, skip []bool) []Splat {
 
 // preprocessInto is Preprocess appending into dst (reusing its capacity — the
 // RenderContext's per-frame projection path).
+//
+//ags:hotpath
 func preprocessInto(splats []Splat, cloud *gauss.Cloud, cam camera.Camera, skip []bool) []Splat {
 	for id := range cloud.Gaussians {
 		if !cloud.IsActive(id) {
@@ -206,6 +210,8 @@ func preprocessInto(splats []Splat, cloud *gauss.Cloud, cam camera.Camera, skip 
 // for any opacity (q > 12.5 => G < MinAlpha/2) return 0 without evaluating
 // the exponential; blending skips them either way, so behavior is unchanged
 // and the hot loop avoids most exp calls.
+//
+//ags:hotpath
 func (s *Splat) Eval(x, y float64) float64 {
 	dx := x - s.Mean2D.X
 	dy := y - s.Mean2D.Y
@@ -221,6 +227,8 @@ func (s *Splat) Eval(x, y float64) float64 {
 
 // Alpha returns the clamped occlusion factor at (x, y) together with the
 // falloff G (callers need G for gradients).
+//
+//ags:hotpath
 func (s *Splat) Alpha(x, y float64) (alpha, g float64) {
 	g = s.Eval(x, y)
 	alpha = s.Opacity * g

@@ -66,6 +66,8 @@ func Render(cloud *gauss.Cloud, cam camera.Camera, opts Options) *Result {
 // call (Backward reads it but never writes it); see the package doc for the
 // full aliasing rules. A nil context falls back to the one-shot package
 // function.
+//
+//ags:hotpath
 func (ctx *RenderContext) Render(cloud *gauss.Cloud, cam camera.Camera, opts Options) *Result {
 	if ctx == nil {
 		return Render(cloud, cam, opts)
@@ -81,6 +83,8 @@ func (ctx *RenderContext) Render(cloud *gauss.Cloud, cam camera.Camera, opts Opt
 // cross-tile reductions (op counters, contribution log) are integers (exact
 // under any association) merged in fixed worker order, so every Workers
 // value produces byte-identical Results.
+//
+//ags:hotpath
 func (ctx *RenderContext) renderTiles(cloud *gauss.Cloud, cam camera.Camera, opts Options) *Result {
 	w, h := cam.Intr.W, cam.Intr.H
 	// The four assigned pixel planes are fully overwritten (every pixel
@@ -129,6 +133,7 @@ func (ctx *RenderContext) renderTiles(cloud *gauss.Cloud, cam camera.Camera, opt
 	var wg sync.WaitGroup
 	for wi := range ranges {
 		wg.Add(1)
+		//ags:allow(hotalloc, worker closures exist only on the multi-worker path; the Workers=1 path above is the one the perf-render allocation gate measures allocation-free)
 		go func(wi int) {
 			defer wg.Done()
 			var nc, tc []int32
@@ -163,6 +168,8 @@ func (ctx *RenderContext) renderTiles(cloud *gauss.Cloud, cam camera.Camera, opt
 // per shard: workers' slots in ctx.ops are adjacent, and incrementing them
 // per (pixel, splat) through the pointer would false-share cache lines on
 // the hottest increment of the pipeline.
+//
+//ags:hotpath
 func renderShard(res *Result, splats []Splat, tiles *Tiles, span [2]int, w, h int, opts Options,
 	nonContrib, touched []int32, alphaOps, blendOps *int64) {
 	var alpha, blend int64
@@ -173,6 +180,10 @@ func renderShard(res *Result, splats []Splat, tiles *Tiles, span [2]int, w, h in
 	*blendOps = blend
 }
 
+// renderOneTile alpha-blends one tile's pixels front-to-back with early
+// termination — the innermost forward kernel.
+//
+//ags:hotpath
 func renderOneTile(res *Result, splats []Splat, tiles *Tiles, tileIdx, w, h int, opts Options,
 	nonContrib, touched []int32, alphaOps, blendOps *int64) {
 

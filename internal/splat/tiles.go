@@ -54,6 +54,8 @@ func BuildTiles(splats []Splat, intr camera.Intrinsics) *Tiles {
 // entries (and alpha evaluations) to the workload trace. Render's
 // preprocessing already culls these, but BuildTiles must stand alone for
 // direct callers.
+//
+//ags:hotpath
 func tileRect(s *Splat, w, h, tw, th int) (x0, x1, y0, y1 int, ok bool) {
 	if s.Mean2D.X+s.Radius < 0 || s.Mean2D.Y+s.Radius < 0 ||
 		s.Mean2D.X-s.Radius >= float64(w) || s.Mean2D.Y-s.Radius >= float64(h) {
@@ -71,6 +73,8 @@ func tileRect(s *Splat, w, h, tw, th int) (x0, x1, y0, y1 int, ok bool) {
 // the caller's cursor scratch. Entries are filled in ascending splat index
 // per tile, then depth-sorted; ties break toward the lower splat index, so
 // the table order is a pure function of the splat slice.
+//
+//ags:hotpath
 func buildTilesInto(t *Tiles, cursor *[]int32, splats []Splat, intr camera.Intrinsics) {
 	tw := (intr.W + TileSize - 1) / TileSize
 	th := (intr.H + TileSize - 1) / TileSize
@@ -136,6 +140,8 @@ const depthSortCutoff = 32
 // the insertion path and the SortFunc fallback implement identically, so the
 // resulting order — and therefore the blend order and every downstream
 // digest — does not depend on which path ran.
+//
+//ags:hotpath
 func sortTileByDepth(list []int32, splats []Splat) {
 	if len(list) <= depthSortCutoff {
 		for i := 1; i < len(list); i++ {
@@ -150,6 +156,7 @@ func sortTileByDepth(list []int32, splats []Splat) {
 		}
 		return
 	}
+	//ags:allow(hotalloc, comparator closure only on the rare long-table fallback; the common path is the allocation-free insertion sort above)
 	slices.SortFunc(list, func(a, b int32) int {
 		da, db := splats[a].Depth, splats[b].Depth
 		switch {

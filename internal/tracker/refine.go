@@ -43,6 +43,8 @@ func NewGSRefiner() *GSRefiner {
 // use a constant-velocity initialization that overshoots badly at motion
 // reversals; keeping the previous pose as a fallback candidate caps the
 // initial error at the true inter-frame motion.
+//
+//ags:hotpath
 func (r *GSRefiner) RefineBest(cloud *gauss.Cloud, intr camera.Intrinsics, f *frame.Frame, inits []vecmath.Pose, iters int) (vecmath.Pose, trace.RenderStats) {
 	if len(inits) == 0 {
 		return vecmath.PoseIdentity(), trace.RenderStats{}
@@ -65,13 +67,16 @@ func (r *GSRefiner) RefineBest(cloud *gauss.Cloud, intr camera.Intrinsics, f *fr
 
 // Refine optimizes the camera pose for the frame, starting from init, for
 // the given number of iterations. It returns the refined pose and the
-// splatting workload stats (accumulated into a trace.RenderStats).
+// splatting workload stats (accumulated into a trace.RenderStats). The
+// twist parameter/gradient vectors are fixed-size stack arrays: the
+// per-iteration loop allocates nothing of its own.
+//
+//ags:hotpath
 func (r *GSRefiner) Refine(cloud *gauss.Cloud, intr camera.Intrinsics, f *frame.Frame, init vecmath.Pose, iters int) (vecmath.Pose, trace.RenderStats) {
 	var stats trace.RenderStats
 	pose := init
 	adam := optim.NewAdam(r.LR)
-	params := make([]float64, 6)
-	prev := make([]float64, 6)
+	var params, prev [6]float64
 	best := init
 	bestLoss := -1.0
 	for i := 0; i < iters; i++ {
@@ -92,9 +97,9 @@ func (r *GSRefiner) Refine(cloud *gauss.Cloud, intr camera.Intrinsics, f *frame.
 			bestLoss = grads.Loss
 			best = pose
 		}
-		g := []float64{grads.Pose.V.X, grads.Pose.V.Y, grads.Pose.V.Z, grads.Pose.W.X, grads.Pose.W.Y, grads.Pose.W.Z}
-		copy(prev, params)
-		adam.Step(params, g)
+		g := [6]float64{grads.Pose.V.X, grads.Pose.V.Y, grads.Pose.V.Z, grads.Pose.W.X, grads.Pose.W.Y, grads.Pose.W.Z}
+		prev = params
+		adam.Step(params[:], g[:])
 		step := vecmath.Twist{
 			V: vecmath.Vec3{X: params[0] - prev[0], Y: params[1] - prev[1], Z: params[2] - prev[2]},
 			W: vecmath.Vec3{X: params[3] - prev[3], Y: params[4] - prev[4], Z: params[5] - prev[5]},
