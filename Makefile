@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet fmt lint bench verify determinism bench-batch profile serve-demo
+.PHONY: build test race vet fmt lint bench verify determinism bench-batch profile serve-demo compact-demo
 
 build:
 	$(GO) build ./...
@@ -43,19 +43,29 @@ determinism:
 
 # Batch-scheduler smoke: perf-me, perf-render (which also gates the
 # contexted-vs-one-shot digests and allocation ratio), perf-serve (which
-# gates cross-session digest equality and the context-pool capacity bound)
-# and a pipeline experiment through the warm/render scheduler at two jobs,
-# emitting the machine-readable report (CI uploads bench.json so the perf
-# trajectory is recorded). table1 rides along because perf-me alone is
-# dataset-only and would leave the report's per-run wall-time section empty.
+# gates cross-session digest equality and the context-pool capacity bound),
+# perf-compact (which gates the compacted-vs-uncompacted digest equality and
+# the reclaimed-slot accounting) and a pipeline experiment through the
+# warm/render scheduler at two jobs, emitting the machine-readable report
+# (CI uploads bench.json so the perf trajectory is recorded). table1 rides
+# along because perf-me alone is dataset-only and would leave the report's
+# per-run wall-time section empty.
 bench-batch:
-	$(GO) run ./cmd/ags-bench -exp perf-me,perf-render,perf-serve,table1 -jobs 2 -json bench.json -q
+	$(GO) run ./cmd/ags-bench -exp perf-me,perf-render,perf-serve,perf-compact,table1 -jobs 2 -json bench.json -q
 
 # Streaming-server demo: two concurrent camera streams through one
 # slam.Server under the race detector — the quickest end-to-end check that
 # the multi-session surface is race-clean.
 serve-demo:
 	$(GO) run -race ./examples/multistream
+
+# Compaction + snapshot/resume demo: prune hard, compact periodically,
+# snapshot a session mid-stream, restore it on a fresh server and finish —
+# asserting (exit non-zero otherwise) that the resumed run's Result digest
+# is bit-identical to an uninterrupted run. Runs under the race detector
+# because Session.Snapshot synchronizes with the session's pipeline loop.
+compact-demo:
+	$(GO) run -race ./examples/snapshot_resume
 
 # Profile the splat hot path: runs the perf-render experiment under pprof so
 # perf PRs can attach flame-graph evidence instead of eyeballing wall times.

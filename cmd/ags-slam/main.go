@@ -6,6 +6,8 @@
 //	ags-slam -seq Desk -algo ags
 //	ags-slam -seq Room -algo baseline -frames 60 -w 96 -h 72
 //	ags-slam -seq Desk -algo ags -sessions 4   # concurrent streams, one server
+//	ags-slam -seq Desk -snapshot run.snap -snapshot-at 12   # serialize mid-stream
+//	ags-slam -seq Desk -resume run.snap                     # continue it; digests match
 package main
 
 import (
@@ -37,6 +39,11 @@ func main() {
 		pipelineME   = flag.Bool("pipeline-me", false, "prefetch next frame's motion estimation concurrently with tracking/mapping")
 		codecWorkers = flag.Int("codec-workers", 0, "ME worker goroutines per frame (0 = serial)")
 		meEarlyTerm  = flag.Bool("me-early-term", false, "encoder early termination in ME SAD accumulation")
+
+		compactEvery = flag.Int("compact-every", slam.DefaultConfig(1, 1).CompactEvery, "re-pack the Gaussian map every k frames (0 = never; bit-transparent either way)")
+		snapPath     = flag.String("snapshot", "", "write a binary session snapshot to this file")
+		snapAt       = flag.Int("snapshot-at", 0, "take the snapshot after this many frames (0 = after the last frame)")
+		resumePath   = flag.String("resume", "", "restore the run from this snapshot and process the remaining frames (config flags come from the snapshot)")
 	)
 	flag.Parse()
 
@@ -54,6 +61,7 @@ func main() {
 	cfg.PipelineME = *pipelineME
 	cfg.CodecWorkers = *codecWorkers
 	cfg.CodecEarlyTerm = *meEarlyTerm
+	cfg.CompactEvery = *compactEvery
 	switch *algo {
 	case "baseline":
 	case "ags":
@@ -86,8 +94,48 @@ func main() {
 
 	fmt.Printf("running %s pipeline...\n", *algo)
 	start := time.Now()
-	sys := slam.New(cfg, seq.Intr)
-	for i, f := range seq.Frames {
+	var sys *slam.System
+	startIdx := 0
+	if *resumePath != "" {
+		sf, err := os.Open(*resumePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		sys, err = slam.Restore(sf)
+		sf.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		startIdx = sys.FrameCount()
+		cfg = sys.Cfg // the snapshot's config governs the continuation
+		fmt.Printf("  restored %s at frame %d\n", *resumePath, startIdx)
+		if startIdx > len(seq.Frames) {
+			fmt.Fprintf(os.Stderr, "snapshot holds %d frames but the sequence has %d\n", startIdx, len(seq.Frames))
+			os.Exit(1)
+		}
+	} else {
+		sys = slam.New(cfg, seq.Intr)
+	}
+	writeSnapshot := func() {
+		sf, err := os.Create(*snapPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := sys.Snapshot(sf); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := sf.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("  snapshot written to %s at frame %d\n", *snapPath, sys.FrameCount())
+	}
+	for i := startIdx; i < len(seq.Frames); i++ {
+		f := seq.Frames[i]
 		if cfg.PipelineME && i+1 < len(seq.Frames) {
 			sys.Prefetch(f, seq.Frames[i+1])
 		}
@@ -105,6 +153,12 @@ func main() {
 			inf += " keyframe"
 		}
 		fmt.Printf("  frame %2d: FC %.2f%s\n", f.Index, float64(last.Covisibility), inf)
+		if *snapPath != "" && *snapAt > 0 && sys.FrameCount() == *snapAt {
+			writeSnapshot()
+		}
+	}
+	if *snapPath != "" && *snapAt <= 0 {
+		writeSnapshot()
 	}
 	res := sys.Finish(*seqName)
 	sys.Close() // return the render context to the pool; PSNR below reuses it
@@ -124,7 +178,11 @@ func main() {
 	fmt.Printf("\nresults for %s / %s:\n", *seqName, *algo)
 	fmt.Printf("  ATE RMSE           %.2f cm\n", ate)
 	fmt.Printf("  PSNR               %.2f dB\n", psnr)
-	fmt.Printf("  gaussians          %d active\n", res.Cloud.NumActive())
+	dig := res.Digest()
+	fmt.Printf("  gaussians          %d active (%d slots resident)\n", res.Cloud.NumActive(), res.Cloud.Len())
+	fmt.Printf("  pruned/compacted   %d pruned, %d slots reclaimed (%.1f KB)\n",
+		tot.PrunedGaussians, tot.CompactedSlots, float64(tot.ReclaimedBytes)/1024)
+	fmt.Printf("  digest             %x\n", dig[:8])
 	fmt.Printf("  key frames         %d / %d\n", tot.KeyFrames, tot.Frames)
 	fmt.Printf("  coarse-only frames %d\n", tot.CoarseOnly)
 	fmt.Printf("  track iterations   %d\n", tot.TrackIters)

@@ -1,0 +1,141 @@
+// Snapshot/resume: bound a long-running stream's two open-ended resources.
+//
+// The demo turns pruning pressure up so the Gaussian map actually sheds
+// slots, runs with periodic compaction (CompactEvery) so those slots are
+// reclaimed instead of accumulating as dead entries, snapshots the session
+// mid-stream into a byte buffer, restores it as a fresh session on a fresh
+// server, and pushes the remaining frames. The restored run's Result digest
+// must be bit-identical to an uninterrupted run of the same stream — both
+// compaction and the snapshot/restore cycle are output-transparent. The
+// process exits non-zero if any digest diverges.
+//
+//	go run -race ./examples/snapshot_resume
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+
+	"ags/internal/scene"
+	"ags/internal/slam"
+)
+
+const (
+	width, height = 48, 36
+	frames        = 12
+	snapshotAt    = 6 // frames pushed before the snapshot is taken
+)
+
+func main() {
+	seq, err := scene.Generate("Desk", scene.Config{
+		Width: width, Height: height, Frames: frames, Seed: 1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Aggressive pruning plus periodic compaction: the map both shrinks
+	// logically (pruned Gaussians) and physically (reclaimed slots).
+	cfg := slam.AGSConfig(width, height)
+	cfg.TrackIters = 20
+	cfg.PipelineME = true
+	cfg.Mapper.LRLogit = 0.2
+	cfg.Mapper.PruneOpacity = 0.25
+	cfg.PruneEvery = 2
+	cfg.CompactEvery = 3
+
+	// 1. The uninterrupted reference: one session, all frames.
+	ref := runSession(cfg, seq, "reference")
+	refDigest := ref.Digest()
+	tot := ref.Trace.Totals()
+	fmt.Printf("reference: %d frames, %d gaussians pruned, %d slots reclaimed (%.1f KB)\n",
+		len(ref.Poses), tot.PrunedGaussians, tot.CompactedSlots, float64(tot.ReclaimedBytes)/1024)
+
+	// 2. The interrupted run: push half the frames, snapshot, tear down.
+	srv := slam.NewServer(slam.ServerConfig{ContextCapacity: 1})
+	sess, err := srv.Open(seq.Name, cfg, seq.Intr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	go drain(sess)
+	for _, f := range seq.Frames[:snapshotAt] {
+		if err := sess.Push(f); err != nil {
+			log.Fatal(err)
+		}
+	}
+	var snap bytes.Buffer
+	if err := sess.Snapshot(&snap); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := sess.Close(); err != nil {
+		log.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("snapshot:  %d frames in, %d bytes (versioned, checksummed)\n",
+		snapshotAt, snap.Len())
+
+	// 3. Restore on a fresh server — a different process, for all the
+	// snapshot knows — and push the frames the first run never saw.
+	srv2 := slam.NewServer(slam.ServerConfig{ContextCapacity: 1})
+	sess2, n, err := srv2.RestoreSession(seq.Name, &snap)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if n != snapshotAt {
+		log.Fatalf("restored session reports %d frames, want %d", n, snapshotAt)
+	}
+	go drain(sess2)
+	for _, f := range seq.Frames[n:] {
+		if err := sess2.Push(f); err != nil {
+			log.Fatal(err)
+		}
+	}
+	res, err := sess2.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := srv2.Close(); err != nil {
+		log.Fatal(err)
+	}
+
+	// 4. The contract: interrupted + resumed == uninterrupted, bit for bit.
+	if res.Digest() != refDigest {
+		log.Fatalf("digest mismatch: resumed %x != reference %x", res.Digest(), refDigest)
+	}
+	fmt.Printf("resumed:   frames %d..%d, digest %x == reference\n",
+		n, frames-1, refDigest[:8])
+}
+
+// runSession streams the whole sequence through one server session and
+// returns its final Result.
+func runSession(cfg slam.Config, seq *scene.Sequence, name string) *slam.Result {
+	srv := slam.NewServer(slam.ServerConfig{ContextCapacity: 1})
+	sess, err := srv.Open(seq.Name, cfg, seq.Intr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	go drain(sess)
+	for _, f := range seq.Frames {
+		if err := sess.Push(f); err != nil {
+			log.Fatal(err)
+		}
+	}
+	res, err := sess.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		log.Fatal(err)
+	}
+	return res
+}
+
+// drain consumes a session's per-frame updates so Push never blocks on an
+// unread Results channel.
+func drain(sess *slam.Session) {
+	for range sess.Results() {
+	}
+}

@@ -1,0 +1,120 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"ags/internal/camera"
+	"ags/internal/gauss"
+	"ags/internal/slam"
+	"ags/internal/splat"
+)
+
+// compactSeqs are the sequences perf-compact measures.
+func compactSeqs() []string { return []string{"Desk", "Xyz"} }
+
+// compactPruneOverride turns pruning up far enough to deactivate slots within
+// the suite's short runs (the default PruneOpacity never fires against
+// opacities seeded at 0.999), with compaction off — the unbounded-growth
+// baseline.
+func compactPruneOverride(cfg *slam.Config) {
+	cfg.Mapper.LRLogit = 0.2
+	cfg.Mapper.PruneOpacity = 0.25
+	cfg.PruneEvery = 2
+	cfg.CompactEvery = 0
+	cfg.CompactInactiveFrac = 0
+}
+
+// compactOnOverride is the same pruning pressure with periodic compaction.
+func compactOnOverride(cfg *slam.Config) {
+	compactPruneOverride(cfg)
+	cfg.CompactEvery = 4
+	cfg.CompactInactiveFrac = 0.25
+}
+
+func compactSpecs() []RunSpec {
+	var out []RunSpec
+	for _, name := range compactSeqs() {
+		out = append(out,
+			RunSpec{Seq: name, Variant: VarAGS, Key: "prune", Override: compactPruneOverride},
+			RunSpec{Seq: name, Variant: VarAGS, Key: "prune+compact", Override: compactOnOverride},
+		)
+	}
+	return out
+}
+
+func expPerfCompact() Experiment {
+	return expDef{
+		id: "perf-compact", paper: "Perf: map compaction — resident slots, reclaimed bytes and render cost, digest-invariant",
+		needs:  compactSpecs(),
+		render: (*Suite).PerfCompact,
+	}
+}
+
+// PerfCompact measures what bounding the map buys: under identical pruning
+// pressure it compares a never-compacted run against a periodically-compacted
+// one, reporting resident slots, the reclaimed slot/byte totals from the
+// trace accounting, and the warm projection+render cost over each run's final
+// cloud (the dead-slot walk the compacted map avoids). The two runs' Result
+// digests are asserted bitwise identical first — compaction must be a pure
+// resource optimization.
+func (s *Suite) PerfCompact(w io.Writer) error {
+	const renderReps = 10
+	t := NewTable(fmt.Sprintf("Perf: Gaussian-map compaction (%dx%d, %d frames)",
+		s.Cfg.Width, s.Cfg.Height, s.Cfg.Frames),
+		"Seq", "Variant", "Slots", "Active", "Dead", "Pruned", "Reclaimed", "Reclaimed KB", "Render ms")
+	for _, name := range compactSeqs() {
+		sparse, err := s.Run(RunSpec{Seq: name, Variant: VarAGS, Key: "prune", Override: compactPruneOverride})
+		if err != nil {
+			return err
+		}
+		dense, err := s.Run(RunSpec{Seq: name, Variant: VarAGS, Key: "prune+compact", Override: compactOnOverride})
+		if err != nil {
+			return err
+		}
+		if sparse.Result.Digest() != dense.Result.Digest() {
+			return fmt.Errorf("bench: perf-compact: %s: compaction changed the Result digest", name)
+		}
+		st := dense.Result.Trace.Totals()
+		if st.PrunedGaussians == 0 {
+			return fmt.Errorf("bench: perf-compact: %s: pruning pressure never fired; nothing measured", name)
+		}
+		if st.CompactedSlots == 0 {
+			return fmt.Errorf("bench: perf-compact: %s: compaction never reclaimed a slot", name)
+		}
+		for _, row := range []struct {
+			variant string
+			b       *Bundle
+		}{{"prune", sparse}, {"prune+compact", dense}} {
+			cloud := row.b.Result.Cloud
+			tot := row.b.Result.Trace.Totals()
+			ms := renderWallMS(row.b, renderReps)
+			t.AddRow(name, row.variant,
+				cloud.Len(), cloud.NumActive(), cloud.NumInactive(),
+				tot.PrunedGaussians, tot.CompactedSlots,
+				fmt.Sprintf("%.1f", float64(tot.ReclaimedBytes)/1024),
+				fmt.Sprintf("%.2f", ms))
+		}
+	}
+	t.AddNote("prune and prune+compact Result digests asserted bitwise identical (compaction is output-transparent)")
+	t.AddNote("Render ms: %d warm renders of the final cloud from the last pose; the compacted map skips the dead-slot walk", renderReps)
+	t.AddNote("Reclaimed KB = reclaimed slots x %d B (Gaussian parameters + active flag)", gauss.SlotBytes)
+	t.Write(w)
+	return nil
+}
+
+// renderWallMS times reps warm renders of the bundle's final cloud from its
+// last estimated pose through one reused context, returning milliseconds per
+// render.
+func renderWallMS(b *Bundle, reps int) float64 {
+	cam := camera.Camera{Intr: b.Seq.Intr, Pose: b.Result.Poses[len(b.Result.Poses)-1]}
+	pool := slam.DefaultServer().ContextPool()
+	ctx := pool.Acquire(b.Seq.Intr.W, b.Seq.Intr.H)
+	defer pool.Release(ctx)
+	ctx.Render(b.Result.Cloud, cam, splat.Options{}) // warm the context's buffers
+	start := wallNow()
+	for i := 0; i < reps; i++ {
+		ctx.Render(b.Result.Cloud, cam, splat.Options{})
+	}
+	return float64(wallSince(start).Nanoseconds()) / 1e6 / float64(reps)
+}

@@ -38,12 +38,18 @@ func (s *Suite) PerfServe(w io.Writer) error {
 		digest [32]byte
 	}
 	refs := make([]ref, len(names))
+	var pruned, reclaimed int
+	var reclaimedBytes int64
 	for i, name := range names {
 		b, err := s.Run(Spec(name, VarAGS))
 		if err != nil {
 			return err
 		}
 		refs[i] = ref{seq: b.Seq, digest: b.Result.Digest()}
+		tot := b.Result.Trace.Totals()
+		pruned += tot.PrunedGaussians
+		reclaimed += tot.CompactedSlots
+		reclaimedBytes += tot.ReclaimedBytes
 	}
 	cfg := s.slamConfig(VarAGS, nil)
 
@@ -100,6 +106,8 @@ func (s *Suite) PerfServe(w io.Writer) error {
 			fmt.Sprintf("%.1f", float64(st.ResidentBytes)/1024))
 	}
 	t.AddNote("every session's Result digest asserted bitwise identical to the cached sequential slam.Run")
+	t.AddNote("map lifecycle across the sequential references: %d Gaussians pruned, %d slots compacted (%.1f KB reclaimed); see perf-compact",
+		pruned, reclaimed, float64(reclaimedBytes)/1024)
 	t.AddNote("last row under-provisions the pool (cap < sessions) to exercise LRU eviction; outputs unchanged")
 	t.Write(w)
 	return nil

@@ -91,6 +91,7 @@ func Experiments() []Experiment {
 		expPerfME(),
 		expPerfRender(),
 		expPerfServe(),
+		expPerfCompact(),
 	}
 }
 

@@ -7,6 +7,7 @@ package gauss
 import (
 	"fmt"
 	"math"
+	"unsafe"
 
 	"ags/internal/vecmath"
 )
@@ -19,6 +20,10 @@ type Gaussian struct {
 	Color    vecmath.Vec3 // RGB in [0,1] (stored unclamped, clamped at render)
 	Logit    float64      // opacity in logit space; Opacity() = sigmoid(Logit)
 }
+
+// SlotBytes is the resident size of one cloud slot (the Gaussian parameters
+// plus its active flag) — the unit Compact's reclaimed-bytes accounting uses.
+const SlotBytes = int(unsafe.Sizeof(Gaussian{})) + 1
 
 // Opacity returns the Gaussian's opacity in (0,1).
 func (g *Gaussian) Opacity() float64 { return Sigmoid(g.Logit) }
@@ -62,13 +67,26 @@ func (g *Gaussian) MaxRadius() float64 {
 	return 3 * s.MaxComponent()
 }
 
-// Cloud is the growable set of Gaussians representing the scene. Index
-// positions are stable: pruning marks Gaussians inactive rather than
-// compacting, so recorded contribution tables stay valid across frames
-// (the GS logging / skipping tables key on these IDs).
+// Cloud is the growable set of Gaussians representing the scene. IDs are
+// positions in the backing slices. Pruning marks a slot inactive without
+// moving anything, so recorded contribution tables stay valid frame to frame;
+// Compact then re-packs the survivors into a dense prefix and returns the
+// old→new ID permutation, through which callers rewrite every retained
+// ID-keyed table (contribution counts, skip sets, optimizer moments, render
+// traces). Between compactions IDs are stable; across a compaction they are
+// stable up to that returned remap, and the survivors' relative order is
+// preserved — which is what keeps projection, tile build and blending order
+// (and therefore every rendered pixel) bit-identical before and after a
+// compaction pass.
 type Cloud struct {
 	Gaussians []Gaussian
 	Active    []bool
+
+	// active counts the true entries of Active, maintained by Add/Prune/
+	// Compact so NumActive is O(1) on the per-frame path. Callers that flip
+	// Active flags directly (none in-tree) would invalidate it — Validate
+	// checks the invariant.
+	active int
 }
 
 // NewCloud returns an empty cloud with capacity hint n.
@@ -82,29 +100,68 @@ func NewCloud(n int) *Cloud {
 // Len returns the total number of slots (active and inactive).
 func (c *Cloud) Len() int { return len(c.Gaussians) }
 
-// NumActive returns the number of active Gaussians.
-func (c *Cloud) NumActive() int {
-	n := 0
-	for _, a := range c.Active {
-		if a {
-			n++
-		}
-	}
-	return n
-}
+// NumActive returns the number of active Gaussians (O(1): the count is
+// maintained by Add, Prune and Compact).
+func (c *Cloud) NumActive() int { return c.active }
+
+// NumInactive returns the number of dead slots awaiting compaction.
+func (c *Cloud) NumInactive() int { return len(c.Gaussians) - c.active }
 
 // Add appends a Gaussian and returns its stable ID.
 func (c *Cloud) Add(g Gaussian) int {
 	c.Gaussians = append(c.Gaussians, g)
 	c.Active = append(c.Active, true)
+	c.active++
 	return len(c.Gaussians) - 1
 }
 
-// Prune deactivates the Gaussian with the given ID.
-func (c *Cloud) Prune(id int) {
-	if id >= 0 && id < len(c.Active) {
-		c.Active[id] = false
+// Prune deactivates the Gaussian with the given ID and reports whether this
+// call deactivated it. Pruning an already-inactive (or out-of-range) ID is a
+// no-op returning false, so repeated prunes of one ID cannot double-count
+// against the active total.
+func (c *Cloud) Prune(id int) bool {
+	if id < 0 || id >= len(c.Active) || !c.Active[id] {
+		return false
 	}
+	c.Active[id] = false
+	c.active--
+	return true
+}
+
+// Compact re-packs the active Gaussians into a dense prefix, truncating the
+// dead tail. It returns the old→new ID permutation and the number of slots
+// freed: survivors map to [0, NumActive) preserving their relative order, and
+// dropped slots map to unique IDs in [NumActive, Len) (ascending by old ID),
+// so retained traces that still mention a dead Gaussian keep a distinct,
+// in-range ID after rewriting. freed is the number of slots reclaimed;
+// freed*SlotBytes approximates the bytes returned to the allocator's reuse
+// pool. A fully-active cloud compacts to itself (remap is the identity).
+func (c *Cloud) Compact() (remap []int32, freed int) {
+	n := len(c.Gaussians)
+	remap = make([]int32, n)
+	next := int32(0)
+	for id := 0; id < n; id++ {
+		if c.Active[id] {
+			remap[id] = next
+			c.Gaussians[next] = c.Gaussians[id]
+			next++
+		}
+	}
+	dead := next
+	for id := 0; id < n; id++ {
+		if !c.Active[id] {
+			remap[id] = dead
+			dead++
+		}
+	}
+	freed = n - int(next)
+	c.Gaussians = c.Gaussians[:next]
+	c.Active = c.Active[:next]
+	for i := range c.Active {
+		c.Active[i] = true
+	}
+	c.active = int(next)
+	return remap, freed
 }
 
 // At returns a pointer to the Gaussian with the given ID.
@@ -120,10 +177,28 @@ func (c *Cloud) Clone() *Cloud {
 	out := &Cloud{
 		Gaussians: make([]Gaussian, len(c.Gaussians)),
 		Active:    make([]bool, len(c.Active)),
+		active:    c.active,
 	}
 	copy(out.Gaussians, c.Gaussians)
 	copy(out.Active, c.Active)
 	return out
+}
+
+// SetAll replaces the cloud's contents (snapshot restore). gaussians and
+// active must have equal length; the slices are adopted, not copied.
+func (c *Cloud) SetAll(gaussians []Gaussian, active []bool) error {
+	if len(gaussians) != len(active) {
+		return fmt.Errorf("gauss: %d gaussians vs %d active flags", len(gaussians), len(active))
+	}
+	c.Gaussians = gaussians
+	c.Active = active
+	c.active = 0
+	for _, a := range active {
+		if a {
+			c.active++
+		}
+	}
+	return nil
 }
 
 // Validate checks structural invariants; it is used by tests and by the
@@ -131,6 +206,15 @@ func (c *Cloud) Clone() *Cloud {
 func (c *Cloud) Validate() error {
 	if len(c.Gaussians) != len(c.Active) {
 		return fmt.Errorf("gauss: %d gaussians vs %d active flags", len(c.Gaussians), len(c.Active))
+	}
+	n := 0
+	for _, a := range c.Active {
+		if a {
+			n++
+		}
+	}
+	if n != c.active {
+		return fmt.Errorf("gauss: active counter %d vs %d true flags", c.active, n)
 	}
 	for i := range c.Gaussians {
 		g := &c.Gaussians[i]

@@ -51,6 +51,12 @@ type FrameTrace struct {
 	NumGaussians     int // active Gaussians when the frame was processed
 	SkippedGaussians int // Gaussians suppressed by selective mapping
 
+	// Map-lifecycle accounting: opacity pruning and compaction both run at
+	// the end of the frame (after the counts above were recorded).
+	PrunedGaussians int   // slots deactivated by this frame's opacity prune
+	CompactedSlots  int   // dead slots reclaimed by this frame's compaction
+	ReclaimedBytes  int64 // CompactedSlots in bytes (slot parameter footprint)
+
 	// LoggingIDs is the per-tile Gaussian ID sequence of one full-mapping
 	// iteration (key frames only) — the access stream the GS logging table
 	// hot/cold model replays.
@@ -78,6 +84,10 @@ type Totals struct {
 	CoarseMACs    int64
 	TileEntries   int64
 	SplatsTouched int64
+
+	PrunedGaussians int
+	CompactedSlots  int
+	ReclaimedBytes  int64
 }
 
 // Totals aggregates the run.
@@ -101,6 +111,9 @@ func (r *Run) Totals() Totals {
 		t.CoarseMACs += f.CoarseMACs
 		t.TileEntries += f.Track.TileEntries + f.Map.TileEntries
 		t.SplatsTouched += f.Track.Splats + f.Map.Splats
+		t.PrunedGaussians += f.PrunedGaussians
+		t.CompactedSlots += f.CompactedSlots
+		t.ReclaimedBytes += f.ReclaimedBytes
 	}
 	return t
 }

@@ -113,6 +113,7 @@ func DefaultGoroutineSites(module string) map[string]bool {
 		module + "/internal/splat.(*RenderContext).renderTiles": true, // static tile shards, fixed-order merge
 		module + "/internal/splat.(*RenderContext).Backward":    true, // static tile shards, ascending-tile merge
 		module + "/internal/slam.(*Server).Open":                true, // one worker per session, frames in queue order
+		module + "/internal/slam.(*Server).RestoreSession":      true, // same session worker, restored from a snapshot
 		module + "/internal/slam.(*System).Prefetch":            true, // single ME job, consumed by identity match
 		module + "/internal/scene.(*World).RenderFrame":         true, // per-row ray tracing, disjoint pixel writes
 		module + "/internal/bench.RunBatch":                     true, // bounded warm pool, render in plan order

@@ -6,7 +6,6 @@
 package mapper
 
 import (
-	"math/rand"
 	"slices"
 
 	"ags/internal/camera"
@@ -97,7 +96,7 @@ type Mapper struct {
 
 	cloud *gauss.Cloud
 	opt   *optim.GroupAdam
-	rng   *rand.Rand
+	rng   *prng
 
 	// Contribution info recorded at the last key frame (per Gaussian ID).
 	nonContrib []int32
@@ -122,7 +121,7 @@ func New(cfg Config) *Mapper {
 		Cfg:   cfg,
 		cloud: gauss.NewCloud(4096),
 		opt:   newOpt(cfg),
-		rng:   rand.New(rand.NewSource(cfg.Seed)),
+		rng:   newPRNG(cfg.Seed),
 	}
 }
 
@@ -245,7 +244,9 @@ func (m *Mapper) growSkipSet() {
 	}
 }
 
-// Prune deactivates Gaussians whose opacity collapsed; returns the count.
+// Prune deactivates Gaussians whose opacity collapsed; it returns how many
+// this call actually deactivated (Cloud.Prune reports the transition, so an
+// ID that is already dead can never be counted twice).
 func (m *Mapper) Prune() int {
 	n := 0
 	for id := range m.cloud.Gaussians {
@@ -253,11 +254,45 @@ func (m *Mapper) Prune() int {
 			continue
 		}
 		if m.cloud.At(id).Opacity() < m.Cfg.PruneOpacity {
-			m.cloud.Prune(id)
-			n++
+			if m.cloud.Prune(id) {
+				n++
+			}
 		}
 	}
 	return n
+}
+
+// Compact re-packs the cloud's surviving Gaussians into a dense prefix (see
+// gauss.Cloud.Compact) and rewrites every ID-keyed table the mapper retains —
+// contribution counts, the skip set, and the per-group Adam moments — through
+// the returned old→new permutation, so mapping after a compaction continues
+// bit-identically to the never-compacted timeline. It returns the permutation
+// (for callers that retain their own ID-keyed state, e.g. render traces) and
+// the number of slots freed.
+func (m *Mapper) Compact() (remap []int32, freed int) {
+	m.growSkipSet()
+	remap, freed = m.cloud.Compact()
+	if freed == 0 {
+		return remap, 0
+	}
+	n := m.cloud.Len()
+	nonContrib := make([]int32, n)
+	contrib := make([]int32, n)
+	skip := make([]bool, n)
+	for old, nw := range remap {
+		if int(nw) >= n {
+			continue
+		}
+		nonContrib[nw] = m.nonContrib[old]
+		contrib[nw] = m.contrib[old]
+		skip[nw] = m.skipSet[old]
+	}
+	m.nonContrib, m.contrib, m.skipSet = nonContrib, contrib, skip
+	m.opt.RemapGroup("mean", 3, remap, n)
+	m.opt.RemapGroup("color", 3, remap, n)
+	m.opt.RemapGroup("logit", 1, remap, n)
+	m.opt.RemapGroup("scale", 1, remap, n)
+	return remap, freed
 }
 
 // FullMapping runs N_M training iterations with every active Gaussian (key

@@ -1,0 +1,96 @@
+package mapper
+
+import (
+	"math/bits"
+
+	"ags/internal/gauss"
+)
+
+// prng is the mapper's keyframe-sampling random source: splitmix64 with
+// Lemire's multiply-shift range reduction. Its entire state is one uint64, so
+// session snapshots serialize it exactly and a restored mapper draws the same
+// keyframe sequence the uninterrupted run would have — something the stdlib
+// sources cannot offer without reflection. Statistical quality far exceeds
+// what sampling one keyframe index per third mapping iteration needs.
+type prng struct{ state uint64 }
+
+// newPRNG returns a generator seeded deterministically from seed.
+func newPRNG(seed int64) *prng { return &prng{state: uint64(seed)} }
+
+// next advances the splitmix64 state and returns the next 64-bit output.
+func (p *prng) next() uint64 {
+	p.state += 0x9E3779B97F4A7C15
+	z := p.state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// Intn returns a value in [0, n) for n >= 1.
+func (p *prng) Intn(n int) int {
+	hi, _ := bits.Mul64(p.next(), uint64(n))
+	return int(hi)
+}
+
+// OptGroupState is one Adam group's serialized moment state.
+type OptGroupState struct {
+	Name string
+	Step int
+	M, V []float64
+}
+
+// State is everything a Mapper carries between frames, exposed with exported
+// fields so package slam can serialize it into a session snapshot. Slices are
+// shared with the mapper on export and adopted on import — snapshot code
+// encodes or decodes them immediately and never aliases them afterwards.
+type State struct {
+	Cloud      *gauss.Cloud
+	NonContrib []int32
+	Contrib    []int32
+	SkipSet    []bool
+	Keyframes  []Keyframe
+	RNG        uint64
+	Opt        []OptGroupState // sorted by group name
+}
+
+// ExportState captures the mapper's inter-frame state for a snapshot.
+func (m *Mapper) ExportState() State {
+	st := State{
+		Cloud:      m.cloud,
+		NonContrib: m.nonContrib,
+		Contrib:    m.contrib,
+		SkipSet:    m.skipSet,
+		Keyframes:  m.keyframes,
+		RNG:        m.rng.state,
+	}
+	for _, name := range m.opt.GroupNames() {
+		mm, vv, step, ok := m.opt.GroupState(name)
+		if !ok {
+			continue
+		}
+		st.Opt = append(st.Opt, OptGroupState{Name: name, Step: step, M: mm, V: vv})
+	}
+	return st
+}
+
+// ImportState restores a snapshot: the inverse of ExportState, over a mapper
+// freshly built with the same Config. The optimizer is rebuilt from the
+// config's learning rates with the snapshot's moments and step counters, so
+// the first post-restore mapping iteration steps exactly as the uninterrupted
+// run's would have.
+func (m *Mapper) ImportState(st State) error {
+	if err := st.Cloud.Validate(); err != nil {
+		return err
+	}
+	m.cloud = st.Cloud
+	m.nonContrib = st.NonContrib
+	m.contrib = st.Contrib
+	m.skipSet = st.SkipSet
+	m.keyframes = st.Keyframes
+	m.rng = &prng{state: st.RNG}
+	m.opt = newOpt(m.Cfg)
+	for _, g := range st.Opt {
+		m.opt.SetGroupState(g.Name, g.M, g.V, g.Step)
+	}
+	return nil
+}

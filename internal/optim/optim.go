@@ -7,6 +7,7 @@ package optim
 import (
 	"maps"
 	"math"
+	"slices"
 )
 
 // Optimizer updates a parameter vector in place given its gradient.
@@ -83,6 +84,48 @@ func (a *Adam) Reset() {
 	a.stepNum = 0
 }
 
+// Remap rebuilds the first and second moments through an ID permutation: the
+// parameter vector is treated as n blocks of stride elements, and block old
+// moves to block remap[old] when remap[old] < newN (blocks mapping at or
+// beyond newN are dropped). The step counter is preserved — a remapped
+// optimizer continues the surviving blocks' moment streams exactly, which is
+// what keeps map compaction bit-transparent: without it, the next Step would
+// see a changed length and silently reinitialize. A never-stepped optimizer
+// remaps to itself.
+func (a *Adam) Remap(stride int, remap []int32, newN int) {
+	if a.m == nil {
+		return
+	}
+	if len(a.m) != stride*len(remap) {
+		// Stale moments (the parameter vector grew since the last Step): the
+		// next Step would reinitialize in the un-remapped timeline too, so
+		// mirror that instead of manufacturing a length that would dodge it.
+		a.Reset()
+		return
+	}
+	m := make([]float64, stride*newN)
+	v := make([]float64, stride*newN)
+	for old, nw := range remap {
+		if int(nw) >= newN {
+			continue
+		}
+		copy(m[int(nw)*stride:(int(nw)+1)*stride], a.m[old*stride:(old+1)*stride])
+		copy(v[int(nw)*stride:(int(nw)+1)*stride], a.v[old*stride:(old+1)*stride])
+	}
+	a.m, a.v = m, v
+}
+
+// State returns the optimizer's moments and step counter (shared slices —
+// callers serialize, they don't mutate).
+func (a *Adam) State() (m, v []float64, step int) { return a.m, a.v, a.stepNum }
+
+// SetState restores moments and the step counter (snapshot restore). The
+// slices are adopted, not copied; m and v must have equal length.
+func (a *Adam) SetState(m, v []float64, step int) {
+	a.m, a.v = m, v
+	a.stepNum = step
+}
+
 // GroupAdam runs independent Adam state per named parameter group with its
 // own learning rate; 3DGS training uses different rates for means, colors,
 // opacities, scales and rotations.
@@ -109,6 +152,51 @@ func (g *GroupAdam) Step(group string, params, grads []float64) {
 		g.groups[group] = opt
 	}
 	opt.Step(params, grads)
+}
+
+// RemapGroup rebuilds one group's moment state through an ID permutation
+// (see Adam.Remap). A group that has never stepped is left untouched.
+func (g *GroupAdam) RemapGroup(group string, stride int, remap []int32, newN int) {
+	if opt, ok := g.groups[group]; ok {
+		opt.Remap(stride, remap, newN)
+	}
+}
+
+// GroupNames returns the names of every group that has stepped at least once,
+// sorted so serialization order is deterministic.
+func (g *GroupAdam) GroupNames() []string {
+	names := make([]string, 0, len(g.groups))
+	for name := range g.groups {
+		names = append(names, name)
+	}
+	slices.Sort(names)
+	return names
+}
+
+// GroupState returns one group's moments and step counter; ok is false for
+// groups that have never stepped.
+func (g *GroupAdam) GroupState(group string) (m, v []float64, step int, ok bool) {
+	opt, exists := g.groups[group]
+	if !exists {
+		return nil, nil, 0, false
+	}
+	m, v, step = opt.State()
+	return m, v, step, true
+}
+
+// SetGroupState restores one group's moments and step counter (snapshot
+// restore), creating the group with its configured learning rate if needed.
+func (g *GroupAdam) SetGroupState(group string, m, v []float64, step int) {
+	opt, ok := g.groups[group]
+	if !ok {
+		lr, has := g.rates[group]
+		if !has {
+			lr = 1e-3
+		}
+		opt = NewAdam(lr)
+		g.groups[group] = opt
+	}
+	opt.SetState(m, v, step)
 }
 
 // Reset clears every group's state.

@@ -12,11 +12,21 @@ import (
 
 // Digest returns a SHA-256 over everything a run's determinism contract
 // covers: the estimated and ground-truth trajectories, every per-frame
-// algorithm decision, the full Gaussian map (parameters and active flags),
-// and the per-frame workload scalars of the trace. Two runs of the same
-// frames are equivalent exactly when their digests match, so the cross-
-// session regression tests, perf-serve, and ags-slam -sessions compare
-// digests instead of walking the structures.
+// algorithm decision, the live Gaussian map, and the per-frame workload
+// scalars of the trace. Two runs of the same frames are equivalent exactly
+// when their digests match, so the cross-session regression tests,
+// perf-serve, and ags-slam -sessions compare digests instead of walking the
+// structures.
+//
+// The map hash is remap-aware: it covers the active Gaussians in packed
+// (ascending-ID) order and skips dead slots, so it is invariant under
+// compaction — a run with Config.CompactEvery > 0, a snapshot/restore
+// mid-stream, and the never-compacted run of the same frames all digest
+// identically. Dead slots only exist between a prune and the next
+// compaction, never differ between equivalent runs in what matters (they are
+// invisible to rendering), and their parameters keep drifting under Adam
+// momentum decay — hashing them would make the digest depend on exactly the
+// bookkeeping compaction exists to discard.
 func (r *Result) Digest() [32]byte {
 	h := sha256.New()
 	hashU64(h, uint64(len(r.Sequence))) // length-prefix every variable-length field
@@ -33,10 +43,12 @@ func (r *Result) Digest() [32]byte {
 		hashF64(h, inf.FPRate)
 		hashBool(h, inf.FPValid)
 	}
-	hashU64(h, uint64(r.Cloud.Len()))
+	hashU64(h, uint64(r.Cloud.NumActive()))
 	for id := 0; id < r.Cloud.Len(); id++ {
+		if !r.Cloud.IsActive(id) {
+			continue
+		}
 		g := r.Cloud.At(id)
-		hashBool(h, r.Cloud.IsActive(id))
 		hashVec3(h, g.Mean)
 		hashVec3(h, g.LogScale)
 		hashF64(h, g.Rot.W)

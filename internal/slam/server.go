@@ -2,6 +2,7 @@ package slam
 
 import (
 	"fmt"
+	"io"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -112,17 +113,46 @@ func (sv *Server) Open(name string, cfg Config, intr camera.Intrinsics) (*Sessio
 	sv.open++
 	sv.mu.Unlock()
 
-	s := &Session{
+	s := sv.newSession(name, newSystem(cfg, intr, sv.pool, true))
+	go s.loop()
+	return s, nil
+}
+
+// RestoreSession opens a session whose system is rebuilt from a snapshot
+// stream (see System.Snapshot). It returns the session and how many frames
+// the snapshot had already processed — the index of the next frame the
+// producer should Push. Pushing the remainder of the original stream yields a
+// Close Result digest-identical to the uninterrupted session.
+func (sv *Server) RestoreSession(name string, r io.Reader) (*Session, int, error) {
+	sv.mu.Lock()
+	if sv.closed {
+		sv.mu.Unlock()
+		return nil, 0, fmt.Errorf("slam: server is closed")
+	}
+	sv.open++
+	sv.mu.Unlock()
+
+	sys, err := restoreSystem(r, sv.pool, true)
+	if err != nil {
+		sv.sessionClosed()
+		return nil, 0, err
+	}
+	s := sv.newSession(name, sys)
+	go s.loop()
+	return s, sys.FrameCount(), nil
+}
+
+func (sv *Server) newSession(name string, sys *System) *Session {
+	return &Session{
 		name:    name,
 		sv:      sv,
-		sys:     newSystem(cfg, intr, sv.pool, true),
+		sys:     sys,
 		in:      make(chan *frame.Frame, sv.cfg.QueueDepth),
+		snap:    make(chan snapReq),
 		updates: make(chan FrameUpdate, updateBuffer),
 		failed:  make(chan struct{}),
 		done:    make(chan struct{}),
 	}
-	go s.loop()
-	return s, nil
 }
 
 func (sv *Server) sessionClosed() {
@@ -175,6 +205,7 @@ type Session struct {
 	sys  *System
 
 	in      chan *frame.Frame
+	snap    chan snapReq
 	updates chan FrameUpdate
 	failed  chan struct{} // closed when processing hits an error
 	done    chan struct{} // closed when the worker goroutine exits
@@ -237,37 +268,110 @@ func (s *Session) Close() (*Result, error) {
 	return s.res, s.err
 }
 
+// snapReq asks the session worker to serialize its system between frames.
+type snapReq struct {
+	w    io.Writer
+	done chan error
+}
+
+// Snapshot serializes the session's state at a well-defined point: every
+// frame pushed before the call is processed first (the producer is blocked
+// here, so the queue can only drain), the ME lookahead is flushed, and the
+// system is written to w. A session restored from the stream and fed the
+// remaining frames closes with a Result digest-identical to this session's.
+// Snapshot shares the producer contract of Push and Close (one goroutine);
+// it fails after Close or once the session has errored.
+func (s *Session) Snapshot(w io.Writer) error {
+	if s.closed {
+		return fmt.Errorf("slam: session %q: snapshot after Close", s.name)
+	}
+	req := snapReq{w: w, done: make(chan error, 1)}
+	s.snap <- req
+	return <-req.done
+}
+
 // loop is the session's worker: frames in queue order, with the same
 // CODEC-prefetch call sequence Run historically used under PipelineME —
 // frame t's ME against t+1 launches as soon as t+1 arrives, right before t
 // is processed, so the encode of the next frame overlaps the current frame's
-// tracking/mapping.
+// tracking/mapping. Snapshot requests interleave on a second channel and are
+// serviced only after the already-queued frames, so the serialized state is
+// the same whichever case the runtime fires first.
 func (s *Session) loop() {
 	defer close(s.done)
 	defer s.sv.sessionClosed()
 	defer close(s.updates)
 	var pending *frame.Frame // one-frame lookahead under PipelineME
-	for f := range s.in {
-		if s.err != nil {
-			continue // drain so blocked producers unblock; error surfaces at Close
-		}
-		if s.sys.Cfg.PipelineME {
-			if pending != nil {
-				s.sys.Prefetch(pending, f)
-				s.process(pending)
+	for {
+		//ags:allow(nondetsource, both winners converge: the snapshot branch drains every queued frame before serializing, and no frame can arrive while it runs (the producer is blocked in Snapshot), so the state written — and every later output — is identical whichever ready case fires)
+		select {
+		case f, ok := <-s.in:
+			if !ok {
+				if s.err == nil && pending != nil {
+					s.process(pending) // the final frame has no successor to prefetch against
+				}
+				if s.err == nil {
+					s.res = s.sys.Finish(s.name)
+				}
+				s.sys.Close()
+				return
 			}
-			pending = f
-			continue
+			pending = s.ingest(f, pending)
+		case req := <-s.snap:
+			pending = s.serveSnapshot(req, pending)
 		}
-		s.process(f)
+	}
+}
+
+// ingest advances the pipeline by one queued frame, returning the new ME
+// lookahead frame (nil when pipelining is off or the session has errored).
+func (s *Session) ingest(f *frame.Frame, pending *frame.Frame) *frame.Frame {
+	if s.err != nil {
+		return pending // drain so blocked producers unblock; error surfaces at Close
+	}
+	if s.sys.Cfg.PipelineME {
+		if pending != nil {
+			s.sys.Prefetch(pending, f)
+			s.process(pending)
+		}
+		return f
+	}
+	s.process(f)
+	return nil
+}
+
+// serveSnapshot brings the pipeline to a between-frames point and serializes
+// it: first every frame queued before the request (the producer is blocked in
+// Snapshot, so none can be added behind it), then the flushed ME lookahead —
+// its prefetch never launched, and the restored system recomputes that
+// frame's motion estimation synchronously, byte-identically.
+func (s *Session) serveSnapshot(req snapReq, pending *frame.Frame) *frame.Frame {
+	for {
+		select {
+		case f, ok := <-s.in:
+			if !ok {
+				// Unreachable under the producer contract (Close follows
+				// Snapshot); fail the request rather than snapshot a closed
+				// stream's partial state.
+				req.done <- fmt.Errorf("slam: session %q: closed during snapshot", s.name)
+				return pending
+			}
+			pending = s.ingest(f, pending)
+			continue
+		default:
+		}
+		break
 	}
 	if s.err == nil && pending != nil {
-		s.process(pending) // the final frame has no successor to prefetch against
+		s.process(pending)
+		pending = nil
 	}
-	if s.err == nil {
-		s.res = s.sys.Finish(s.name)
+	if s.err != nil {
+		req.done <- fmt.Errorf("session %q: %w", s.name, s.err)
+		return pending
 	}
-	s.sys.Close()
+	req.done <- s.sys.Snapshot(req.w)
+	return pending
 }
 
 // process runs one frame through the system and publishes its update.

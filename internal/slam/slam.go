@@ -93,6 +93,17 @@ type Config struct {
 	KeyframeEvery int
 	// PruneEvery runs opacity pruning every k frames (0 = never).
 	PruneEvery int
+	// CompactEvery re-packs the Gaussian map every k frames (0 = never):
+	// pruned slots are reclaimed and every retained ID-keyed table (mapper
+	// contribution state, optimizer moments, render traces) is rewritten
+	// through the old→new remap. Compaction is bit-transparent — a run with
+	// CompactEvery > 0 produces the same Result.Digest as the never-compacted
+	// run — so it is purely a resource bound, not an accuracy knob.
+	CompactEvery int
+	// CompactInactiveFrac additionally triggers a compaction whenever the
+	// dead-slot fraction of the map exceeds it (0 = cadence only). It bounds
+	// the wasted resident bytes between cadence ticks under heavy pruning.
+	CompactInactiveFrac float64
 	// Workers bounds splat render/backward parallelism (0 = all cores). The
 	// splat pipeline shards tiles deterministically, so every value produces
 	// bit-identical trajectories, maps and traces (see package splat).
@@ -129,14 +140,16 @@ func DefaultConfig(w, h int) Config {
 	mc := mapper.DefaultConfig()
 	mc.ThreshN = scaleThreshN(450) // paper value; see scaleThreshN
 	return Config{
-		TrackIters:    60,
-		IterT:         6,
-		ThreshT:       0.90,
-		ThreshM:       0.75,
-		Mapper:        mc,
-		TrackLR:       5e-3,
-		KeyframeEvery: 4,
-		PruneEvery:    8,
+		TrackIters:          60,
+		IterT:               6,
+		ThreshT:             0.90,
+		ThreshM:             0.75,
+		Mapper:              mc,
+		TrackLR:             5e-3,
+		KeyframeEvery:       4,
+		PruneEvery:          8,
+		CompactEvery:        32,
+		CompactInactiveFrac: 0.25,
 	}
 }
 
@@ -329,20 +342,88 @@ func (s *System) ProcessFrame(f *frame.Frame) error {
 	}
 
 	ft.NumGaussians = s.mapper.Cloud().NumActive()
-	s.traceFrames = append(s.traceFrames, ft)
 	s.info = append(s.info, info)
 	s.gt = append(s.gt, f.GTPose)
 	s.prevFrame = f
 	s.frameCount++
 	if s.Cfg.PruneEvery > 0 && s.frameCount%s.Cfg.PruneEvery == 0 {
-		s.mapper.Prune()
+		ft.PrunedGaussians = s.mapper.Prune()
 	}
+	s.maybeCompact(&ft)
+	s.traceFrames = append(s.traceFrames, ft)
 	if s.perStep {
 		// Session mode: hand the context back between frames so an idle
 		// stream pins no render state and the pool can serve other sessions.
 		s.detachCtx()
 	}
 	return nil
+}
+
+// FrameCount returns how many frames the system has processed — after a
+// Restore, the index of the next frame to push.
+func (s *System) FrameCount() int { return s.frameCount }
+
+// maybeCompact runs the end-of-frame map compaction pass when the cadence
+// (Config.CompactEvery) or the inactive-fraction trigger
+// (Config.CompactInactiveFrac) fires and there is anything to reclaim. The
+// mapper re-packs the cloud and rewrites its own ID-keyed tables; the system
+// then rewrites the Gaussian-ID streams of every retained FrameTrace through
+// the same permutation and records the reclaimed slots/bytes in the current
+// frame's trace. Because survivors keep their relative order (and the
+// optimizer moments ride along), subsequent frames render and train
+// bit-identically to the never-compacted timeline.
+func (s *System) maybeCompact(cur *trace.FrameTrace) {
+	cloud := s.mapper.Cloud()
+	dead := cloud.NumInactive()
+	if dead == 0 {
+		return
+	}
+	due := s.Cfg.CompactEvery > 0 && s.frameCount%s.Cfg.CompactEvery == 0
+	if !due && s.Cfg.CompactInactiveFrac > 0 {
+		due = float64(dead) > s.Cfg.CompactInactiveFrac*float64(cloud.Len())
+	}
+	if !due {
+		return
+	}
+	remap, freed := s.mapper.Compact()
+	if freed == 0 {
+		return
+	}
+	cur.CompactedSlots = freed
+	cur.ReclaimedBytes = int64(freed) * int64(gauss.SlotBytes)
+	remapTrace(cur, remap)
+	for i := range s.traceFrames {
+		remapTrace(&s.traceFrames[i], remap)
+	}
+}
+
+// remapTrace rewrites the Gaussian-ID streams a FrameTrace retains (the
+// tracker's and mapper's per-tile logging lists) through the compaction
+// permutation, keeping each frame's lists consistent with the live map's IDs.
+// LoggingIDs aliases Map.RepTileLists on key frames, so it is only walked
+// when it is a distinct set of lists. IDs at or beyond the permutation's
+// range — dead-slot sentinels from an earlier compaction of a then-larger
+// cloud — are left as they are; each frame's lists stay internally
+// consistent, which is all the per-frame hardware-table models consume.
+func remapTrace(ft *trace.FrameTrace, remap []int32) {
+	aliased := len(ft.LoggingIDs) > 0 && len(ft.Map.RepTileLists) > 0 &&
+		&ft.LoggingIDs[0] == &ft.Map.RepTileLists[0]
+	remapIDLists(ft.Track.RepTileLists, remap)
+	remapIDLists(ft.Map.RepTileLists, remap)
+	if !aliased {
+		remapIDLists(ft.LoggingIDs, remap)
+	}
+}
+
+// remapIDLists applies the permutation in place to every list.
+func remapIDLists(lists [][]int32, remap []int32) {
+	for _, l := range lists {
+		for i, id := range l {
+			if int(id) < len(remap) {
+				l[i] = remap[id]
+			}
+		}
+	}
 }
 
 // bootstrap anchors the first frame at its ground-truth pose (the SLAM

@@ -1,0 +1,286 @@
+package slam
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// compactCfg is fastAGS with pruning aggressive enough to actually deactivate
+// slots in a short run (the default PruneOpacity of 0.005 never fires against
+// opacities seeded at 0.999 — the logit learning rate bounds how far opacity
+// can fall in a few frames), plus a short compaction cadence.
+func compactCfg(w, h int) Config {
+	cfg := fastAGS(w, h)
+	cfg.Mapper.LRLogit = 0.2
+	cfg.PruneEvery = 2
+	cfg.Mapper.PruneOpacity = 0.25
+	cfg.CompactEvery = 3
+	cfg.CompactInactiveFrac = 0
+	return cfg
+}
+
+func runDigest(t *testing.T, cfg Config, name string, frames int) (*Result, [32]byte) {
+	t.Helper()
+	res, err := Run(cfg, testSeq(t, name, frames))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, res.Digest()
+}
+
+// TestCompactionDigestInvariant is the tentpole contract: a run that
+// periodically compacts the map produces a Result digest-identical to the
+// never-compacted run — compaction reclaims slots without perturbing a single
+// output bit — while actually reclaiming storage.
+func TestCompactionDigestInvariant(t *testing.T) {
+	cfg := compactCfg(tw, th)
+	plain := cfg
+	plain.CompactEvery = 0
+
+	resC, digC := runDigest(t, cfg, "Desk", 12)
+	resP, digP := runDigest(t, plain, "Desk", 12)
+
+	if digC != digP {
+		t.Fatalf("compaction changed the digest: %x vs %x", digC, digP)
+	}
+	tot := resC.Trace.Totals()
+	if tot.PrunedGaussians == 0 {
+		t.Fatal("prune config never fired; the test exercises nothing")
+	}
+	if tot.CompactedSlots == 0 {
+		t.Fatal("compaction never reclaimed a slot")
+	}
+	if tot.ReclaimedBytes == 0 {
+		t.Fatal("reclaimed bytes not accounted")
+	}
+	if resC.Cloud.Len() >= resP.Cloud.Len() {
+		t.Fatalf("compacted run retains %d slots, never-compacted %d",
+			resC.Cloud.Len(), resP.Cloud.Len())
+	}
+	if resC.Cloud.NumInactive() != 0 && resC.Trace.Frames[len(resC.Trace.Frames)-1].CompactedSlots > 0 {
+		t.Fatal("final compaction left dead slots")
+	}
+}
+
+// TestCompactionInactiveFracTrigger: the dead-slot-fraction trigger compacts
+// without a cadence, and stays digest-invariant too.
+func TestCompactionInactiveFracTrigger(t *testing.T) {
+	cfg := compactCfg(tw, th)
+	cfg.CompactEvery = 0
+	cfg.CompactInactiveFrac = 0.02
+	plain := cfg
+	plain.CompactInactiveFrac = 0
+
+	resC, digC := runDigest(t, cfg, "Desk", 12)
+	_, digP := runDigest(t, plain, "Desk", 12)
+	if digC != digP {
+		t.Fatalf("frac-triggered compaction changed the digest: %x vs %x", digC, digP)
+	}
+	if resC.Trace.Totals().CompactedSlots == 0 {
+		t.Fatal("inactive-fraction trigger never compacted")
+	}
+}
+
+// TestSnapshotRoundTripSystem: snapshot a system mid-stream, restore it, push
+// the remaining frames, and the Result digest must equal the uninterrupted
+// run's — at the first frame, mid-stream, and at the last frame, on two
+// scenes, with pruning and compaction active so the snapshot carries a
+// recently-compacted map.
+func TestSnapshotRoundTripSystem(t *testing.T) {
+	const frames = 10
+	cfg := compactCfg(tw, th)
+	for _, scene := range []string{"Desk", "Xyz"} {
+		seq := testSeq(t, scene, frames)
+
+		ref := New(cfg, seq.Intr)
+		for _, f := range seq.Frames {
+			if err := ref.ProcessFrame(f); err != nil {
+				t.Fatal(err)
+			}
+		}
+		want := ref.Finish(seq.Name).Digest()
+		ref.Close()
+
+		for _, k := range []int{1, frames / 2, frames - 1} {
+			sys := New(cfg, seq.Intr)
+			for _, f := range seq.Frames[:k] {
+				if err := sys.ProcessFrame(f); err != nil {
+					t.Fatal(err)
+				}
+			}
+			var buf bytes.Buffer
+			if err := sys.Snapshot(&buf); err != nil {
+				t.Fatalf("%s split %d: snapshot: %v", scene, k, err)
+			}
+			sys.Close()
+
+			restored, err := Restore(bytes.NewReader(buf.Bytes()))
+			if err != nil {
+				t.Fatalf("%s split %d: restore: %v", scene, k, err)
+			}
+			if restored.FrameCount() != k {
+				t.Fatalf("%s split %d: restored FrameCount = %d", scene, k, restored.FrameCount())
+			}
+			for _, f := range seq.Frames[k:] {
+				if err := restored.ProcessFrame(f); err != nil {
+					t.Fatal(err)
+				}
+			}
+			got := restored.Finish(seq.Name).Digest()
+			restored.Close()
+			if got != want {
+				t.Errorf("%s split %d: restored digest %x != uninterrupted %x", scene, k, got, want)
+			}
+		}
+	}
+}
+
+// TestSessionSnapshotRestore drives the serving path: a session snapshotted
+// mid-stream keeps running unperturbed, and a second session restored from
+// the snapshot and fed the remainder closes with the identical digest. The
+// config pipelines ME so the snapshot has to flush the one-frame lookahead.
+func TestSessionSnapshotRestore(t *testing.T) {
+	const frames = 10
+	cfg := compactCfg(tw, th)
+	cfg.PipelineME = true
+	seq := testSeq(t, "Desk", frames)
+
+	_, want := runDigest(t, cfg, "Desk", frames)
+
+	sv := NewServer(ServerConfig{})
+	sess, err := sv.Open(seq.Name, cfg, seq.Intr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const k = frames / 2
+	for _, f := range seq.Frames[:k] {
+		if err := sess.Push(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := sess.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range seq.Frames[k:] {
+		if err := sess.Push(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := sess.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Digest(); got != want {
+		t.Errorf("snapshotted session digest %x != uninterrupted %x", got, want)
+	}
+
+	restored, n, err := sv.RestoreSession(seq.Name, bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != k {
+		t.Fatalf("RestoreSession processed-frame count = %d, want %d (Snapshot drains the queue)", n, k)
+	}
+	for _, f := range seq.Frames[n:] {
+		if err := restored.Push(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res2, err := restored.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res2.Digest(); got != want {
+		t.Errorf("restored session digest %x != uninterrupted %x", got, want)
+	}
+	if err := sv.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSessionSnapshotAfterClose: the producer contract rejects snapshots of a
+// closed session instead of deadlocking.
+func TestSessionSnapshotAfterClose(t *testing.T) {
+	seq := testSeq(t, "Desk", 2)
+	sess, err := DefaultServer().Open(seq.Name, fastCfg(tw, th), seq.Intr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Push(seq.Frames[0]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := sess.Snapshot(&buf); err == nil {
+		t.Fatal("snapshot after Close succeeded")
+	}
+}
+
+// snapshotBytes returns a small valid snapshot to corrupt.
+func snapshotBytes(t *testing.T) []byte {
+	t.Helper()
+	seq := testSeq(t, "Desk", 3)
+	sys := New(fastCfg(tw, th), seq.Intr)
+	defer sys.Close()
+	for _, f := range seq.Frames {
+		if err := sys.ProcessFrame(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := sys.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestRestoreRejectsDamage(t *testing.T) {
+	data := snapshotBytes(t)
+	if _, err := Restore(bytes.NewReader(data)); err != nil {
+		t.Fatalf("pristine snapshot rejected: %v", err)
+	}
+
+	cases := []struct {
+		name    string
+		mangle  func([]byte) []byte
+		wantSub string
+	}{
+		{"empty", func(b []byte) []byte { return nil }, "truncated"},
+		{"truncated header", func(b []byte) []byte { return b[:10] }, "truncated"},
+		{"truncated payload", func(b []byte) []byte { return b[:len(b)-17] }, "checksum"},
+		{"flipped payload byte", func(b []byte) []byte {
+			c := append([]byte(nil), b...)
+			c[len(c)/2] ^= 0x40
+			return c
+		}, "checksum"},
+		{"flipped checksum byte", func(b []byte) []byte {
+			c := append([]byte(nil), b...)
+			c[len(c)-1] ^= 0x01
+			return c
+		}, "checksum"},
+		{"bad magic", func(b []byte) []byte {
+			c := append([]byte(nil), b...)
+			c[0] = 'X'
+			return c
+		}, "magic"},
+		{"future version", func(b []byte) []byte {
+			c := append([]byte(nil), b...)
+			c[8] = 0xFF // version word follows the 8-byte magic
+			return c
+		}, "version"},
+	}
+	for _, tc := range cases {
+		_, err := Restore(bytes.NewReader(tc.mangle(data)))
+		if err == nil {
+			t.Errorf("%s: accepted", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.wantSub) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.wantSub)
+		}
+	}
+}

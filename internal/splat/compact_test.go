@@ -1,0 +1,49 @@
+package splat
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestRenderInvariantUnderCompaction: rendering a sparse cloud (dead slots
+// interleaved) and rendering its compacted clone must produce bit-identical
+// images — survivors keep their relative order, so projection, tile build,
+// depth sort and blending see the same splat sequence. This is the renderer
+// half of the map-compaction bit-transparency contract (the dense fast path
+// in preprocessInto must not change output, only skip dead-slot branching).
+func TestRenderInvariantUnderCompaction(t *testing.T) {
+	cam := testCam(48, 36)
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 4; trial++ {
+		cloud := randomCloud(rng, 40+rng.Intn(40))
+		for id := 0; id < cloud.Len(); id++ {
+			if rng.Float64() < 0.3 {
+				cloud.Prune(id)
+			}
+		}
+		compacted := cloud.Clone()
+		if _, freed := compacted.Compact(); freed == 0 {
+			continue // all-active draw; nothing to compare
+		}
+		sparse := Render(cloud, cam, Options{Workers: 2})
+		dense := Render(compacted, cam, Options{Workers: 2})
+		if len(sparse.Color.Pix) != len(dense.Color.Pix) {
+			t.Fatalf("trial %d: pixel count %d vs %d", trial, len(sparse.Color.Pix), len(dense.Color.Pix))
+		}
+		for i := range sparse.Color.Pix {
+			if sparse.Color.Pix[i] != dense.Color.Pix[i] {
+				t.Fatalf("trial %d: pixel %d differs: %v vs %v",
+					trial, i, sparse.Color.Pix[i], dense.Color.Pix[i])
+			}
+		}
+		for i := range sparse.Depth.D {
+			if sparse.Depth.D[i] != dense.Depth.D[i] {
+				t.Fatalf("trial %d: depth %d differs", trial, i)
+			}
+		}
+		if len(sparse.Splats) != len(dense.Splats) {
+			t.Fatalf("trial %d: %d vs %d splats survived projection",
+				trial, len(sparse.Splats), len(dense.Splats))
+		}
+	}
+}

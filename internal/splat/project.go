@@ -177,12 +177,17 @@ func Preprocess(cloud *gauss.Cloud, cam camera.Camera, skip []bool) []Splat {
 }
 
 // preprocessInto is Preprocess appending into dst (reusing its capacity — the
-// RenderContext's per-frame projection path).
+// RenderContext's per-frame projection path). When the cloud is dense (every
+// slot active — the steady state under map compaction), the per-slot
+// active-flag walk is skipped entirely, so projection work scales with the
+// live map rather than with lifetime allocations; sparse clouds take the
+// flag-checking path and produce bit-identical output.
 //
 //ags:hotpath
 func preprocessInto(splats []Splat, cloud *gauss.Cloud, cam camera.Camera, skip []bool) []Splat {
+	dense := cloud.NumActive() == len(cloud.Gaussians)
 	for id := range cloud.Gaussians {
-		if !cloud.IsActive(id) {
+		if !dense && !cloud.IsActive(id) {
 			continue
 		}
 		if skip != nil && id < len(skip) && skip[id] {
