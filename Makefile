@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet fmt lint bench verify determinism bench-batch profile serve-demo compact-demo
+.PHONY: build test race vet fmt lint bench verify determinism bench-batch profile serve-demo compact-demo fleet-demo
 
 build:
 	$(GO) build ./...
@@ -51,7 +51,7 @@ determinism:
 # along because perf-me alone is dataset-only and would leave the report's
 # per-run wall-time section empty.
 bench-batch:
-	$(GO) run ./cmd/ags-bench -exp perf-me,perf-render,perf-serve,perf-compact,table1 -jobs 2 -json bench.json -q
+	$(GO) run ./cmd/ags-bench -exp perf-me,perf-render,perf-serve,perf-compact,perf-fleet,table1 -jobs 2 -json bench.json -q
 
 # Streaming-server demo: two concurrent camera streams through one
 # slam.Server under the race detector — the quickest end-to-end check that
@@ -66,6 +66,15 @@ serve-demo:
 # because Session.Snapshot synchronizes with the session's pipeline loop.
 compact-demo:
 	$(GO) run -race ./examples/snapshot_resume
+
+# Fleet migration demo: three streams across two loopback fleet nodes, one
+# node drained mid-stream so its sessions snapshot over the wire and restore
+# on the peer — asserting (exit non-zero otherwise) that every stream's
+# digest is bit-identical to a sequential in-process run. Runs under the
+# race detector: it exercises the node's connection handlers, the router's
+# placement path and the migration hand-off concurrently.
+fleet-demo:
+	$(GO) run -race ./examples/fleet_migrate
 
 # Profile the splat hot path: runs the perf-render experiment under pprof so
 # perf PRs can attach flame-graph evidence instead of eyeballing wall times.

@@ -8,6 +8,8 @@
 //	ags-slam -seq Desk -algo ags -sessions 4   # concurrent streams, one server
 //	ags-slam -seq Desk -snapshot run.snap -snapshot-at 12   # serialize mid-stream
 //	ags-slam -seq Desk -resume run.snap                     # continue it; digests match
+//	ags-slam -seq Desk -prune-opacity 0.25 -prune-lr-logit 0.2   # real prune pressure
+//	        (the default threshold never fires: Gaussians are seeded at 0.999 opacity)
 package main
 
 import (
@@ -41,6 +43,8 @@ func main() {
 		meEarlyTerm  = flag.Bool("me-early-term", false, "encoder early termination in ME SAD accumulation")
 
 		compactEvery = flag.Int("compact-every", slam.DefaultConfig(1, 1).CompactEvery, "re-pack the Gaussian map every k frames (0 = never; bit-transparent either way)")
+		pruneOpacity = flag.Float64("prune-opacity", slam.DefaultConfig(1, 1).Mapper.PruneOpacity, "deactivate Gaussians whose opacity falls below this; the default never fires against opacities seeded at 0.999 — raise it (e.g. 0.25, with -prune-lr-logit 0.2) for real prune pressure")
+		pruneLRLogit = flag.Float64("prune-lr-logit", slam.DefaultConfig(1, 1).Mapper.LRLogit, "opacity-logit learning rate; turn up alongside -prune-opacity so opacities can actually collapse within short runs")
 		snapPath     = flag.String("snapshot", "", "write a binary session snapshot to this file")
 		snapAt       = flag.Int("snapshot-at", 0, "take the snapshot after this many frames (0 = after the last frame)")
 		resumePath   = flag.String("resume", "", "restore the run from this snapshot and process the remaining frames (config flags come from the snapshot)")
@@ -62,6 +66,8 @@ func main() {
 	cfg.CodecWorkers = *codecWorkers
 	cfg.CodecEarlyTerm = *meEarlyTerm
 	cfg.CompactEvery = *compactEvery
+	cfg.Mapper.PruneOpacity = *pruneOpacity
+	cfg.Mapper.LRLogit = *pruneLRLogit
 	switch *algo {
 	case "baseline":
 	case "ags":

@@ -1,0 +1,129 @@
+// Fleet migrate: serve live streams across a 2-node fleet over loopback TCP
+// and drain one node mid-stream — its sessions snapshot over the wire,
+// restore on the peer, and finish there without moving a single output bit.
+//
+// The demo boots two in-process fleet.Nodes (each one slam.Server behind a
+// real listener), routes three streams across them (consistent-hash
+// placement keyed by frame size class, least-loaded tie-break), then drains
+// the node serving the first stream halfway through. Every stream's final
+// digest is asserted bit-identical to a sequential in-process slam.Run of
+// the same frames — the fleet's determinism contract, migration included.
+//
+//	go run ./examples/fleet_migrate
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ags/internal/fleet"
+	"ags/internal/scene"
+	"ags/internal/slam"
+)
+
+const (
+	width, height = 48, 36
+	frames        = 6
+)
+
+func main() {
+	cfg := slam.AGSConfig(width, height)
+	cfg.TrackIters = 12 // scaled-down N_T for a quick demo
+	cfg.IterT = 4
+	cfg.Mapper.MapIters = 6
+	cfg.Mapper.DensifyStride = 2
+
+	// 1. Sequential references: the digests the fleet must reproduce.
+	names := []string{"Desk", "Xyz", "Room"}
+	seqs := make([]*scene.Sequence, len(names))
+	refs := make([][32]byte, len(names))
+	for i, name := range names {
+		seq, err := scene.Generate(name, scene.Config{
+			Width: width, Height: height, Frames: frames, Seed: 1,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		seqs[i] = seq
+		res, err := slam.NewServer(slam.ServerConfig{}).Run(cfg, seq)
+		if err != nil {
+			log.Fatal(err)
+		}
+		refs[i] = res.Digest()
+	}
+
+	// 2. Two nodes over loopback, a router over both.
+	router := fleet.NewRouter()
+	nodes := make([]*fleet.Node, 2)
+	for i, name := range []string{"node-a", "node-b"} {
+		n := fleet.NewNode(fleet.NodeConfig{Name: name})
+		addr, err := n.Start("")
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s listening on %s\n", name, addr)
+		nodes[i] = n
+		if err := router.AddNode(addr); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// 3. Open the streams; placement spreads them across the nodes.
+	streams := make([]*fleet.Stream, len(seqs))
+	for i, seq := range seqs {
+		st, err := router.Open(seq.Name, cfg, seq.Intr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		streams[i] = st
+		fmt.Printf("stream %-5s placed on %s\n", seq.Name, st.Node())
+	}
+
+	// 4. Push round-robin; halfway through, drain the first stream's node.
+	// Its streams migrate lazily at their next push: snapshot on the
+	// draining node, restore on the peer, frame count verified.
+	for f := 0; f < frames; f++ {
+		if f == frames/2 {
+			target := streams[0].Node()
+			fmt.Printf("draining %s at frame %d\n", target, f)
+			if err := router.Drain(target); err != nil {
+				log.Fatal(err)
+			}
+		}
+		for i, seq := range seqs {
+			if err := streams[i].Push(seq.Frames[f]); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+
+	// 5. Close and verify: digests must match the sequential runs exactly.
+	migrations := 0
+	for i, st := range streams {
+		sum, err := st.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		migrations += st.Migrations()
+		status := "identical to sequential run"
+		if sum.Digest != refs[i] {
+			log.Fatalf("stream %s: digest diverged after serving over the fleet", names[i])
+		}
+		fmt.Printf("stream %-5s finished on %-6s after %d migration(s): digest %x %s\n",
+			names[i], st.Node(), st.Migrations(), sum.Digest[:8], status)
+	}
+	if migrations == 0 {
+		log.Fatal("expected at least one mid-stream migration")
+	}
+
+	m := router.Metrics()
+	fmt.Printf("placement: %d/%d streams on first choice, %d migration(s) — all digests bit-identical\n",
+		m.PrimaryHits, m.Placements, m.Migrations)
+
+	router.Close()
+	for _, n := range nodes {
+		if err := n.Close(); err != nil {
+			log.Fatal(err)
+		}
+	}
+}

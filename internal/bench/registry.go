@@ -92,6 +92,7 @@ func Experiments() []Experiment {
 		expPerfRender(),
 		expPerfServe(),
 		expPerfCompact(),
+		expPerfFleet(),
 	}
 }
 

@@ -1,0 +1,125 @@
+package fleet
+
+import (
+	"fmt"
+)
+
+// Mid-stream migration: when a node drains, its live streams move to peers
+// without losing a frame or perturbing a single output bit. The move runs
+// lazily, at each stream's next Push, on the stream's own producer goroutine
+// — so the session's one-producer contract holds through the hand-off and no
+// cross-goroutine coordination touches pipeline state. The sequence:
+//
+//  1. snapshot: the draining node brings the session to a between-frames
+//     point (every pushed frame processed, ME lookahead flushed) and ships
+//     the AGSSNAP bytes — themselves versioned and checksummed — back.
+//  2. close: the old session is closed and its partial Result discarded;
+//     the snapshot already captured everything that matters.
+//  3. restore: a placement-ordered peer rebuilds the session from the
+//     snapshot and reports its processed-frame count, which must equal the
+//     frames pushed so far — the continuity check that turns a silent
+//     half-restored stream into a loud error.
+//
+// Because the snapshot codec is the determinism contract (see slam's
+// snapshot tests), the migrated stream's Close digest is bit-identical to an
+// uninterrupted run — asserted end-to-end by the fleet tests and the
+// perf-fleet experiment.
+
+// migrate moves the stream off its (draining) current node onto the best
+// admitting peer. On failure the stream is left closed-over — its connection
+// torn down — because the old session's continuation point is unrecoverable
+// once the snapshot conversation fails midway; the producer sees the error
+// from Push.
+func (s *Stream) migrate() error {
+	// 1. Snapshot on the draining node. The payload aliases the wire's
+	// receive scratch, so copy it before reusing the connection.
+	rv, payload, err := s.w.roundTrip(vSnapshot, nil)
+	if err != nil {
+		s.teardown()
+		return fmt.Errorf("snapshot: %w", err)
+	}
+	if rv != vSnapData {
+		s.teardown()
+		return fmt.Errorf("snapshot reply verb %s", rv)
+	}
+	snap := append([]byte(nil), payload...)
+
+	// 2. Close the old session; its partial Result is superseded by the
+	// snapshot. A failure here still leaves the snapshot usable, so only a
+	// transport error aborts.
+	if _, _, err := s.w.roundTrip(vClose, nil); err != nil {
+		s.teardown()
+		return fmt.Errorf("close after snapshot: %w", err)
+	}
+	s.teardown()
+
+	// 3. Restore on the best admitting peer, placement order.
+	nodes, loads, err := s.r.snapshotLoads()
+	if err != nil {
+		return err
+	}
+	order := Candidates(s.sizeW, s.sizeH, loads)
+	if len(order) == 0 {
+		return fmt.Errorf("no admitting peer (all draining or down)")
+	}
+	restorePayload := encodeRestore(nil, s.name, snap)
+	var lastErr error
+	for _, idx := range order {
+		w, frames, err := restoreOn(nodes[idx].addr, restorePayload)
+		if err != nil {
+			if isPlacementBounce(err) {
+				lastErr = err
+				continue
+			}
+			return fmt.Errorf("restore on %q: %w", nodes[idx].name, err)
+		}
+		if frames != s.pushed {
+			// The restored system disagrees about where the stream stands;
+			// pushing from here would corrupt the output, so fail loudly.
+			w.roundTrip(vClose, nil)
+			w.Close()
+			return fmt.Errorf("restore on %q: continuity check failed: node at frame %d, producer at %d",
+				nodes[idx].name, frames, s.pushed)
+		}
+		s.w, s.node = w, nodes[idx]
+		s.migrations++
+		s.r.mu.Lock()
+		s.r.migrations++
+		s.r.mu.Unlock()
+		return nil
+	}
+	return fmt.Errorf("every peer refused the restore: %w", lastErr)
+}
+
+// teardown closes the stream's current connection and detaches it.
+func (s *Stream) teardown() {
+	if s.w != nil {
+		s.w.Close()
+		s.w = nil
+	}
+}
+
+// restoreOn dials a fresh stream connection and restores a session from a
+// snapshot over it, returning the bound wire and the restored system's
+// processed-frame count.
+func restoreOn(addr string, restorePayload []byte) (*wire, int, error) {
+	w, err := dialWire(addr)
+	if err != nil {
+		return nil, 0, err
+	}
+	rv, reply, err := w.roundTrip(vRestore, restorePayload)
+	if err != nil {
+		w.Close()
+		return nil, 0, err
+	}
+	if rv != vOK {
+		w.Close()
+		return nil, 0, fmt.Errorf("fleet: restore reply verb %s", rv)
+	}
+	frames, err := decodeOK(reply)
+	if err != nil {
+		w.Close()
+		return nil, 0, err
+	}
+	return w, frames, nil
+}

@@ -1,0 +1,409 @@
+package fleet
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math"
+	"net"
+	"sync"
+
+	"ags/internal/slam"
+)
+
+// NodeConfig sizes one fleet node: the slam.Server it wraps plus the
+// admission budgets routers are told about and bounce off.
+type NodeConfig struct {
+	// Name is the node's fleet-wide identity and its consistent-hash key.
+	Name string
+	// Server configures the wrapped slam.Server (pool capacity, queue depth).
+	Server slam.ServerConfig
+	// MaxSessions caps concurrently admitted fleet streams (0 = unlimited).
+	// Opens beyond the cap are rejected with ErrAdmission and the router
+	// falls through to the next placement candidate.
+	MaxSessions int
+	// MaxResidentBytes rejects new streams while the render-context pool's
+	// resident bytes meet or exceed this budget (0 = unlimited).
+	MaxResidentBytes int64
+}
+
+// Node is the serving side of the fleet: one slam.Server made
+// network-facing. Each accepted connection is handled by its own goroutine
+// and speaks the strict request/response protocol; a connection is either a
+// control channel (stats, drain) or bound to exactly one session by
+// open/restore, so every session's frames arrive in push order down a single
+// connection — the property that keeps fleet results digest-identical to
+// local runs.
+type Node struct {
+	cfg NodeConfig
+	srv *slam.Server
+
+	mu      sync.Mutex
+	ln      net.Listener
+	conns   map[net.Conn]struct{}
+	streams int // fleet-admitted live sessions (reserved before Open)
+	closed  bool
+
+	wg sync.WaitGroup
+}
+
+// NewNode builds a node with its own slam.Server. Call Start to listen.
+func NewNode(cfg NodeConfig) *Node {
+	if cfg.Name == "" {
+		cfg.Name = "node"
+	}
+	return &Node{
+		cfg:   cfg,
+		srv:   slam.NewServer(cfg.Server),
+		conns: make(map[net.Conn]struct{}),
+	}
+}
+
+// Server exposes the wrapped slam.Server (tests and the CLI reach through
+// for pool stats; sessions are owned by their remote producers).
+func (n *Node) Server() *slam.Server { return n.srv }
+
+// Start listens on addr ("" = loopback with an ephemeral port) and serves
+// connections until Close. It returns the bound address for routers to dial.
+func (n *Node) Start(addr string) (string, error) {
+	if addr == "" {
+		addr = "127.0.0.1:0"
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("fleet: node %q listen: %w", n.cfg.Name, err)
+	}
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		ln.Close()
+		return "", fmt.Errorf("fleet: node %q is closed", n.cfg.Name)
+	}
+	n.ln = ln
+	n.mu.Unlock()
+	n.wg.Add(1)
+	go n.Serve()
+	return ln.Addr().String(), nil
+}
+
+// Serve is the accept loop: one goroutine per connection, each owning its
+// wire endpoint exclusively. It returns when the listener closes.
+func (n *Node) Serve() {
+	defer n.wg.Done()
+	for {
+		c, err := n.ln.Accept()
+		if err != nil {
+			return // listener closed by Close
+		}
+		n.mu.Lock()
+		if n.closed {
+			n.mu.Unlock()
+			c.Close()
+			return
+		}
+		n.conns[c] = struct{}{}
+		n.mu.Unlock()
+		n.wg.Add(1)
+		go n.serveConn(c)
+	}
+}
+
+// Addr returns the listening address, or "" before Start.
+func (n *Node) Addr() string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.ln == nil {
+		return ""
+	}
+	return n.ln.Addr().String()
+}
+
+// Drain stops admitting new streams (local equivalent of the drain verb).
+// Live sessions keep running until their producers close or migrate them.
+func (n *Node) Drain() { n.srv.Drain() }
+
+// Stats assembles the node's self-report.
+func (n *Node) Stats() NodeStats {
+	n.mu.Lock()
+	streams := n.streams
+	n.mu.Unlock()
+	return NodeStats{
+		Name:             n.cfg.Name,
+		OpenSessions:     streams,
+		Draining:         n.srv.Draining(),
+		MaxSessions:      n.cfg.MaxSessions,
+		MaxResidentBytes: n.cfg.MaxResidentBytes,
+		Pool:             n.srv.PoolStats(),
+	}
+}
+
+// Close stops the listener, tears down live connections (abandoning their
+// sessions' partial results), waits for every handler to exit, and closes
+// the wrapped server.
+func (n *Node) Close() error {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		n.wg.Wait()
+		return nil
+	}
+	n.closed = true
+	ln := n.ln
+	conns := make([]net.Conn, 0, len(n.conns))
+	//ags:allow(maprange, order-independent: every collected conn is closed; no output depends on the iteration order)
+	for c := range n.conns {
+		conns = append(conns, c)
+	}
+	n.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	for _, c := range conns {
+		c.Close()
+	}
+	n.wg.Wait()
+	return n.srv.Close()
+}
+
+// admit reserves one admission slot, or explains why not. The reservation
+// happens before the server Open so concurrent connections cannot
+// oversubscribe the budget between check and open.
+func (n *Node) admit() error {
+	if n.srv.Draining() {
+		return fmt.Errorf("%w: node %q", ErrDraining, n.cfg.Name)
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return fmt.Errorf("fleet: node %q is closed", n.cfg.Name)
+	}
+	if n.cfg.MaxSessions > 0 && n.streams >= n.cfg.MaxSessions {
+		return fmt.Errorf("%w: node %q at %d/%d sessions", ErrAdmission, n.cfg.Name, n.streams, n.cfg.MaxSessions)
+	}
+	if n.cfg.MaxResidentBytes > 0 {
+		if rb := n.srv.PoolStats().ResidentBytes; rb >= n.cfg.MaxResidentBytes {
+			return fmt.Errorf("%w: node %q pool resident %d B >= budget %d B", ErrAdmission, n.cfg.Name, rb, n.cfg.MaxResidentBytes)
+		}
+	}
+	n.streams++
+	return nil
+}
+
+func (n *Node) releaseAdmission() {
+	n.mu.Lock()
+	n.streams--
+	n.mu.Unlock()
+}
+
+// connState is the per-connection session binding.
+type connState struct {
+	w        *wire
+	sess     *slam.Session
+	admitted bool
+	replyBuf []byte // reply payload scratch, reused across messages
+}
+
+// serveConn runs one connection's request/response loop until the peer
+// disconnects or a send fails. A torn-down connection with a live session
+// closes the session (its result is lost with its producer) and returns the
+// admission slot.
+func (n *Node) serveConn(c net.Conn) {
+	defer n.wg.Done()
+	cs := &connState{w: newWire(c)}
+	defer func() {
+		if cs.sess != nil {
+			cs.sess.Close()
+		}
+		if cs.admitted {
+			n.releaseAdmission()
+		}
+		cs.w.Close()
+		n.mu.Lock()
+		delete(n.conns, c)
+		n.mu.Unlock()
+	}()
+	for {
+		v, payload, err := cs.w.recv()
+		if err != nil {
+			return // clean EOF or damage; either way the conversation is over
+		}
+		if !n.dispatch(cs, v, payload) {
+			return
+		}
+	}
+}
+
+// dispatch handles one request and sends its reply; false means the
+// connection is unusable (reply send failed).
+func (n *Node) dispatch(cs *connState, v verb, payload []byte) bool {
+	switch v {
+	case vOpen:
+		return n.handleOpen(cs, payload)
+	case vPush:
+		return n.handlePush(cs, payload)
+	case vClose:
+		return n.handleClose(cs)
+	case vSnapshot:
+		return n.handleSnapshot(cs)
+	case vRestore:
+		return n.handleRestore(cs, payload)
+	case vDrain:
+		n.srv.Drain()
+		return n.replyOK(cs, 0)
+	case vStats:
+		st := n.Stats()
+		cs.replyBuf = encodeStats(cs.replyBuf[:0], &st)
+		return cs.w.send(vStatsData, cs.replyBuf) == nil
+	default:
+		// Response verbs arriving as requests are protocol misuse, not damage.
+		return n.replyErr(cs, codeProto, fmt.Sprintf("unexpected request verb %s", v))
+	}
+}
+
+func (n *Node) replyOK(cs *connState, frames int) bool {
+	cs.replyBuf = encodeOK(cs.replyBuf[:0], frames)
+	return cs.w.send(vOK, cs.replyBuf) == nil
+}
+
+func (n *Node) replyErr(cs *connState, code byte, msg string) bool {
+	cs.replyBuf = encodeErrReply(cs.replyBuf[:0], code, msg)
+	return cs.w.send(vErrReply, cs.replyBuf) == nil
+}
+
+// replyAdmissionErr maps an admit/Open failure to its wire code so routers
+// can tell "try the next node" from a real fault.
+func (n *Node) replyAdmissionErr(cs *connState, err error) bool {
+	code := codeInternal
+	switch {
+	case errors.Is(err, ErrAdmission):
+		code = codeAdmission
+	case errors.Is(err, ErrDraining), errors.Is(err, slam.ErrDraining):
+		code = codeDraining
+	}
+	return n.replyErr(cs, code, err.Error())
+}
+
+func (n *Node) handleOpen(cs *connState, payload []byte) bool {
+	if cs.sess != nil {
+		return n.replyErr(cs, codeProto, "connection already bound to a session")
+	}
+	name, cfgBytes, intrBytes, err := decodeOpen(payload)
+	if err != nil {
+		return n.replyErr(cs, codeProto, err.Error())
+	}
+	cfg, err := slam.DecodeConfig(cfgBytes)
+	if err != nil {
+		return n.replyErr(cs, codeProto, err.Error())
+	}
+	intr, err := slam.DecodeIntrinsics(intrBytes)
+	if err != nil {
+		return n.replyErr(cs, codeProto, err.Error())
+	}
+	if err := n.admit(); err != nil {
+		return n.replyAdmissionErr(cs, err)
+	}
+	sess, err := n.srv.Open(name, cfg, intr)
+	if err != nil {
+		n.releaseAdmission()
+		return n.replyAdmissionErr(cs, err)
+	}
+	cs.sess, cs.admitted = sess, true
+	return n.replyOK(cs, 0)
+}
+
+// handleRestore is the migration target's half: rebuild a session from the
+// shipped snapshot and report how many frames it has already processed — the
+// index of the next frame the producer must push.
+func (n *Node) handleRestore(cs *connState, payload []byte) bool {
+	if cs.sess != nil {
+		return n.replyErr(cs, codeProto, "connection already bound to a session")
+	}
+	name, snap, err := decodeRestore(payload)
+	if err != nil {
+		return n.replyErr(cs, codeProto, err.Error())
+	}
+	if err := n.admit(); err != nil {
+		return n.replyAdmissionErr(cs, err)
+	}
+	sess, frames, err := n.srv.RestoreSession(name, bytes.NewReader(snap))
+	if err != nil {
+		n.releaseAdmission()
+		return n.replyAdmissionErr(cs, err)
+	}
+	cs.sess, cs.admitted = sess, true
+	return n.replyOK(cs, frames)
+}
+
+// handlePush decodes one frame and pushes it into the bound session. The
+// reply is sent only after Push returns, so the session's queue-full
+// backpressure blocks the remote producer exactly as it would a local one.
+//
+//ags:hotpath
+func (n *Node) handlePush(cs *connState, payload []byte) bool {
+	if cs.sess == nil {
+		return n.replyErr(cs, codeProto, "push before open")
+	}
+	f, err := slam.DecodeFrame(payload)
+	if err != nil {
+		return n.replyErr(cs, codeProto, err.Error())
+	}
+	if err := cs.sess.Push(f); err != nil {
+		return n.replyErr(cs, codeInternal, err.Error())
+	}
+	return n.replyOK(cs, 0)
+}
+
+func (n *Node) handleClose(cs *connState) bool {
+	if cs.sess == nil {
+		return n.replyErr(cs, codeProto, "close before open")
+	}
+	dropped := cs.sess.Dropped()
+	res, err := cs.sess.Close()
+	cs.sess = nil
+	if cs.admitted {
+		cs.admitted = false
+		n.releaseAdmission()
+	}
+	if err != nil {
+		return n.replyErr(cs, codeInternal, err.Error())
+	}
+	sum := summarize(res, dropped)
+	cs.replyBuf = encodeResult(cs.replyBuf[:0], &sum)
+	return cs.w.send(vResult, cs.replyBuf) == nil
+}
+
+// handleSnapshot serializes the bound session between frames (every pushed
+// frame is processed first; see slam.Session.Snapshot) and ships the AGSSNAP
+// bytes back. The session stays open — the router follows up with close
+// (discarding the partial result) once the snapshot is safely restored on a
+// peer.
+func (n *Node) handleSnapshot(cs *connState) bool {
+	if cs.sess == nil {
+		return n.replyErr(cs, codeProto, "snapshot before open")
+	}
+	var buf bytes.Buffer
+	if err := cs.sess.Snapshot(&buf); err != nil {
+		return n.replyErr(cs, codeInternal, err.Error())
+	}
+	return cs.w.send(vSnapData, buf.Bytes()) == nil
+}
+
+// summarize distills a finished session's Result into the close reply.
+func summarize(res *slam.Result, dropped uint64) ResultSummary {
+	tot := res.Trace.Totals()
+	s := ResultSummary{
+		Digest:          res.Digest(),
+		Frames:          len(res.Poses),
+		NumGaussians:    res.Cloud.NumActive(),
+		PrunedGaussians: tot.PrunedGaussians,
+		CompactedSlots:  tot.CompactedSlots,
+		ReclaimedBytes:  tot.ReclaimedBytes,
+		DroppedUpdates:  dropped,
+	}
+	if ate, err := res.ATERMSECm(); err == nil {
+		s.ATECm = ate
+	} else {
+		s.ATECm = math.NaN()
+	}
+	return s
+}

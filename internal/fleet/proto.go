@@ -1,0 +1,443 @@
+// Package fleet is the multi-host serving layer over the slam.Server
+// boundary: a hand-rolled, stdlib-only wire protocol plus the two roles that
+// speak it. A Node wraps one slam.Server behind a TCP listener — the per-host
+// resource owner made network-facing — and a Router places live camera
+// streams across N nodes, keyed by frame size class so streams land next to
+// warm render-context pools, with per-node admission control and graceful
+// drain (a draining node's sessions are snapshotted over the wire and
+// restored onto peers mid-stream).
+//
+// # Wire format
+//
+// Every message is one length-prefixed binary frame, mirroring the AGSSNAP
+// snapshot discipline — versioned, checksummed, rejected loudly on damage:
+//
+//	magic "AGSF" (4) | version (1) | verb (1) | payload length (8, LE)
+//	| payload | SHA-256 over everything before it (32)
+//
+// A reader validates in a fixed order with a distinct error per failure
+// mode: magic (ErrBadMagic), version (ErrVersionSkew), length prefix
+// (ErrOversized), body completeness (ErrTruncated), checksum (ErrChecksum),
+// verb (ErrUnknownVerb). Payload encodings reuse the slam snapshot codec
+// (slam.AppendFrame and friends), so frames, configurations and session
+// snapshots cross the network bit-identically — which is what makes the
+// fleet falsifiable: a fleet of nodes serving N interleaved streams,
+// including streams migrated between hosts mid-flight, must produce
+// Result.Digest values bit-identical to N sequential slam.Run calls.
+//
+// # Conversation shape
+//
+// The protocol is strict request/response, in order, one outstanding request
+// per connection. A connection is either a control connection (stats, drain)
+// or becomes bound to one session by open/restore; push replies are sent
+// only after the node-side slam.Session.Push returns, so the session
+// queue-full backpressure propagates end-to-end to the remote producer.
+// Determinism needs no special pleading: there is no multi-way select and no
+// clock anywhere in the package, and each session's frames flow down a
+// single connection in push order.
+package fleet
+
+import (
+	"bufio"
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net"
+)
+
+// ProtocolVersion is the wire format revision this build speaks. Peers with
+// a different version are rejected with ErrVersionSkew before any payload is
+// examined.
+const ProtocolVersion = 1
+
+const (
+	protoMagic = "AGSF"
+	headerSize = 4 + 1 + 1 + 8 // magic, version, verb, payload length
+	// MaxPayload bounds a message's declared payload length. A corrupt or
+	// hostile length prefix is rejected (ErrOversized) before any allocation
+	// is sized from it.
+	MaxPayload = 1 << 28
+)
+
+// Damage and skew are distinct, testable failure modes (the fleet mirror of
+// the snapshot damage contract).
+var (
+	// ErrBadMagic: the stream does not start with a fleet message.
+	ErrBadMagic = errors.New("fleet: not a fleet message (bad magic)")
+	// ErrVersionSkew: the peer speaks a different protocol revision.
+	ErrVersionSkew = errors.New("fleet: protocol version skew")
+	// ErrOversized: the length prefix exceeds MaxPayload.
+	ErrOversized = errors.New("fleet: message length exceeds limit")
+	// ErrTruncated: the connection ended mid-message.
+	ErrTruncated = errors.New("fleet: message truncated")
+	// ErrChecksum: the trailing SHA-256 does not match the message bytes.
+	ErrChecksum = errors.New("fleet: message checksum mismatch")
+	// ErrUnknownVerb: the (checksum-verified) verb byte is not one this
+	// build dispatches.
+	ErrUnknownVerb = errors.New("fleet: unknown verb")
+	// ErrAdmission: the node rejected a new stream — its session count or
+	// resident-byte budget is exhausted. Routers fall through to the next
+	// placement candidate.
+	ErrAdmission = errors.New("fleet: admission rejected")
+	// ErrDraining: the node is draining and admits no new streams.
+	ErrDraining = errors.New("fleet: node draining")
+)
+
+// verb identifies a message's meaning. Requests: open, push, close,
+// snapshot, restore, drain, stats. Responses: ok, result, snapData,
+// statsData, errReply.
+type verb byte
+
+const (
+	vOpen verb = 1 + iota
+	vPush
+	vClose
+	vSnapshot
+	vRestore
+	vDrain
+	vStats
+	vOK
+	vResult
+	vSnapData
+	vStatsData
+	vErrReply
+
+	verbEnd // one past the last valid verb
+)
+
+var verbNames = [...]string{
+	vOpen: "open", vPush: "push", vClose: "close", vSnapshot: "snapshot",
+	vRestore: "restore", vDrain: "drain", vStats: "stats", vOK: "ok",
+	vResult: "result", vSnapData: "snap-data", vStatsData: "stats-data",
+	vErrReply: "err",
+}
+
+func (v verb) String() string {
+	if int(v) < len(verbNames) && verbNames[v] != "" {
+		return verbNames[v]
+	}
+	return fmt.Sprintf("verb(0x%02x)", byte(v))
+}
+
+// appendMessage frames one message into buf (header, payload, trailing
+// SHA-256 over both) and returns the extended slice. Callers reuse their
+// scratch buffer across sends, so the per-frame push path allocates only
+// until the buffer reaches its high-water mark.
+//
+//ags:hotpath
+func appendMessage(buf []byte, v verb, payload []byte) []byte {
+	start := len(buf)
+	buf = append(buf, protoMagic...)
+	buf = append(buf, ProtocolVersion, byte(v))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(len(payload)))
+	buf = append(buf, payload...)
+	sum := sha256.Sum256(buf[start:])
+	buf = append(buf, sum[:]...)
+	return buf
+}
+
+// wire is one endpoint of a fleet connection: buffered reads, reusable
+// read/write scratch. It is owned by exactly one goroutine at a time (the
+// conn handler on the node, the stream or control owner on the router); it
+// provides no internal locking.
+type wire struct {
+	c    net.Conn
+	r    *bufio.Reader
+	rbuf []byte // payload scratch; recv results alias it until the next recv
+	wbuf []byte // send scratch
+}
+
+func newWire(c net.Conn) *wire {
+	return &wire{c: c, r: bufio.NewReader(c)}
+}
+
+func (w *wire) Close() error { return w.c.Close() }
+
+// send frames and writes one message.
+func (w *wire) send(v verb, payload []byte) error {
+	w.wbuf = appendMessage(w.wbuf[:0], v, payload)
+	if _, err := w.c.Write(w.wbuf); err != nil {
+		return fmt.Errorf("fleet: send %s: %w", v, err)
+	}
+	return nil
+}
+
+// recv reads and validates one message. The returned payload aliases the
+// wire's scratch buffer and is valid only until the next recv — it grows
+// under a cap guard, so the steady-state per-frame receive path is
+// allocation-free. A clean close at a message boundary returns io.EOF; every
+// damage mode returns its distinct error (see the package doc for the
+// validation order).
+//
+//ags:hotpath
+func (w *wire) recv() (verb, []byte, error) {
+	var hdr [headerSize]byte
+	if _, err := io.ReadFull(w.r, hdr[:]); err != nil {
+		if err == io.EOF {
+			return 0, nil, io.EOF
+		}
+		if errors.Is(err, io.ErrUnexpectedEOF) {
+			return 0, nil, fmt.Errorf("%w: connection ended inside the header", ErrTruncated)
+		}
+		return 0, nil, err
+	}
+	if string(hdr[:4]) != protoMagic {
+		return 0, nil, ErrBadMagic
+	}
+	if hdr[4] != ProtocolVersion {
+		return 0, nil, fmt.Errorf("%w: peer speaks v%d, this build v%d", ErrVersionSkew, hdr[4], ProtocolVersion)
+	}
+	v := verb(hdr[5])
+	n := binary.LittleEndian.Uint64(hdr[6:14])
+	if n > MaxPayload {
+		return 0, nil, fmt.Errorf("%w: length prefix %d (max %d)", ErrOversized, n, MaxPayload)
+	}
+	need := int(n) + sha256.Size
+	if cap(w.rbuf) < need {
+		w.rbuf = make([]byte, need)
+	}
+	w.rbuf = w.rbuf[:need]
+	if _, err := io.ReadFull(w.r, w.rbuf); err != nil {
+		if err == io.EOF || errors.Is(err, io.ErrUnexpectedEOF) {
+			return 0, nil, fmt.Errorf("%w: connection ended inside the body (%d byte payload declared)", ErrTruncated, n)
+		}
+		return 0, nil, err
+	}
+	h := sha256.New()
+	h.Write(hdr[:])
+	payload := w.rbuf[:n]
+	h.Write(payload)
+	var sum [sha256.Size]byte
+	h.Sum(sum[:0])
+	if !bytes.Equal(sum[:], w.rbuf[n:]) {
+		return 0, nil, ErrChecksum
+	}
+	if v == 0 || v >= verbEnd {
+		return 0, nil, fmt.Errorf("%w: 0x%02x", ErrUnknownVerb, byte(v))
+	}
+	return v, payload, nil
+}
+
+// roundTrip sends a request and reads the single reply, decoding an error
+// reply into the error it carries. Reply payloads alias the wire scratch.
+func (w *wire) roundTrip(v verb, payload []byte) (verb, []byte, error) {
+	if err := w.send(v, payload); err != nil {
+		return 0, nil, err
+	}
+	rv, rp, err := w.recv()
+	if err != nil {
+		if err == io.EOF {
+			err = fmt.Errorf("fleet: %s: connection closed before reply", v)
+		}
+		return 0, nil, err
+	}
+	if rv == vErrReply {
+		return 0, nil, decodeErrReply(rp)
+	}
+	return rv, rp, nil
+}
+
+// --- payload encodings -------------------------------------------------
+//
+// The same length-prefixed little-endian style as the snapshot payload;
+// wireEnc/wireDec mirror slam's snapEnc/snapDec for the fleet-owned
+// structures (anything slam owns goes through slam.Append*/Decode*).
+
+type wireEnc struct{ buf []byte }
+
+func (e *wireEnc) u8(v byte) { e.buf = append(e.buf, v) }
+
+func (e *wireEnc) u64(v uint64) {
+	e.buf = binary.LittleEndian.AppendUint64(e.buf, v)
+}
+
+func (e *wireEnc) i64(v int64)   { e.u64(uint64(v)) }
+func (e *wireEnc) f64(v float64) { e.u64(math.Float64bits(v)) }
+
+func (e *wireEnc) boolv(b bool) {
+	if b {
+		e.u8(1)
+	} else {
+		e.u8(0)
+	}
+}
+
+func (e *wireEnc) str(s string) {
+	e.u64(uint64(len(s)))
+	e.buf = append(e.buf, s...)
+}
+
+func (e *wireEnc) bytes(b []byte) {
+	e.u64(uint64(len(b)))
+	e.buf = append(e.buf, b...)
+}
+
+// wireDec is the sticky-error cursor over a checksum-verified payload.
+type wireDec struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (d *wireDec) fail(format string, args ...any) {
+	if d.err == nil {
+		d.err = fmt.Errorf(format, args...)
+	}
+}
+
+func (d *wireDec) remaining() int { return len(d.b) - d.off }
+
+func (d *wireDec) take(n int) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if d.remaining() < n {
+		d.fail("payload exhausted at offset %d (need %d bytes, have %d)", d.off, n, d.remaining())
+		return nil
+	}
+	b := d.b[d.off : d.off+n]
+	d.off += n
+	return b
+}
+
+func (d *wireDec) u8() byte {
+	b := d.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+func (d *wireDec) u64() uint64 {
+	b := d.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+func (d *wireDec) i64() int64   { return int64(d.u64()) }
+func (d *wireDec) f64() float64 { return math.Float64frombits(d.u64()) }
+
+func (d *wireDec) boolv() bool { return d.u8() != 0 }
+
+func (d *wireDec) sliceLen() int {
+	n := d.u64()
+	if d.err != nil {
+		return 0
+	}
+	if n > uint64(d.remaining()) {
+		d.fail("length %d exceeds remaining payload (%d bytes)", n, d.remaining())
+		return 0
+	}
+	return int(n)
+}
+
+func (d *wireDec) str() string { return string(d.take(d.sliceLen())) }
+
+func (d *wireDec) bytes() []byte { return d.take(d.sliceLen()) }
+
+func (d *wireDec) finish(what string) error {
+	if d.err != nil {
+		return fmt.Errorf("fleet: %s payload: %w", what, d.err)
+	}
+	if d.off != len(d.b) {
+		return fmt.Errorf("fleet: %s payload: %d trailing bytes", what, len(d.b)-d.off)
+	}
+	return nil
+}
+
+// --- error replies ------------------------------------------------------
+
+// Error-reply codes: the machine-readable half of a vErrReply, so routers
+// can distinguish "try the next node" (admission, draining) from real
+// failures without parsing message text.
+const (
+	codeInternal byte = iota + 1
+	codeProto
+	codeAdmission
+	codeDraining
+)
+
+func encodeErrReply(buf []byte, code byte, msg string) []byte {
+	e := wireEnc{buf: buf}
+	e.u8(code)
+	e.str(msg)
+	return e.buf
+}
+
+func decodeErrReply(b []byte) error {
+	d := &wireDec{b: b}
+	code := d.u8()
+	msg := d.str()
+	if err := d.finish("err"); err != nil {
+		return err
+	}
+	switch code {
+	case codeAdmission:
+		return fmt.Errorf("%w: %s", ErrAdmission, msg)
+	case codeDraining:
+		return fmt.Errorf("%w: %s", ErrDraining, msg)
+	case codeProto:
+		return fmt.Errorf("fleet: protocol misuse: %s", msg)
+	default:
+		return fmt.Errorf("fleet: remote error: %s", msg)
+	}
+}
+
+// --- open / restore payloads -------------------------------------------
+
+// openPayload carries everything a node needs to start a session: the
+// stream's name, its pipeline configuration, and the camera intrinsics the
+// frames will match.
+func encodeOpen(buf []byte, name string, cfgBytes, intrBytes []byte) []byte {
+	e := wireEnc{buf: buf}
+	e.str(name)
+	e.bytes(cfgBytes)
+	e.bytes(intrBytes)
+	return e.buf
+}
+
+func decodeOpen(b []byte) (name string, cfgBytes, intrBytes []byte, err error) {
+	d := &wireDec{b: b}
+	name = d.str()
+	cfgBytes = d.bytes()
+	intrBytes = d.bytes()
+	return name, cfgBytes, intrBytes, d.finish("open")
+}
+
+// restorePayload carries a stream's name and a complete slam session
+// snapshot (AGSSNAP bytes, themselves checksummed) — the migration message a
+// router sends to the peer taking over a drained node's stream.
+func encodeRestore(buf []byte, name string, snap []byte) []byte {
+	e := wireEnc{buf: buf}
+	e.str(name)
+	e.bytes(snap)
+	return e.buf
+}
+
+func decodeRestore(b []byte) (name string, snap []byte, err error) {
+	d := &wireDec{b: b}
+	name = d.str()
+	snap = d.bytes()
+	return name, snap, d.finish("restore")
+}
+
+// okPayload is a single counter: zero for plain acknowledgements, the
+// restored system's processed-frame count for restore replies (the index of
+// the next frame the producer must push).
+func encodeOK(buf []byte, frames int) []byte {
+	e := wireEnc{buf: buf}
+	e.u64(uint64(frames))
+	return e.buf
+}
+
+func decodeOK(b []byte) (int, error) {
+	d := &wireDec{b: b}
+	n := d.u64()
+	return int(n), d.finish("ok")
+}

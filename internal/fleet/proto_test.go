@@ -1,0 +1,202 @@
+package fleet
+
+import (
+	"bufio"
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"io"
+	"testing"
+)
+
+// recvWire wraps raw bytes as the read side of a wire, no conn needed.
+func recvWire(data []byte) *wire {
+	return &wire{r: bufio.NewReader(bytes.NewReader(data))}
+}
+
+func TestMessageRoundTrip(t *testing.T) {
+	payloads := [][]byte{
+		[]byte("hello fleet"),
+		nil,
+		bytes.Repeat([]byte{0xAB}, 4096),
+	}
+	verbs := []verb{vOpen, vStats, vPush}
+	var stream []byte
+	for i, p := range payloads {
+		stream = appendMessage(stream, verbs[i], p)
+	}
+	w := recvWire(stream)
+	for i, want := range payloads {
+		v, got, err := w.recv()
+		if err != nil {
+			t.Fatalf("message %d: %v", i, err)
+		}
+		if v != verbs[i] {
+			t.Errorf("message %d: verb %s, want %s", i, v, verbs[i])
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("message %d: payload %d bytes, want %d", i, len(got), len(want))
+		}
+	}
+	if _, _, err := w.recv(); err != io.EOF {
+		t.Errorf("after last message: err = %v, want io.EOF", err)
+	}
+}
+
+// reframe recomputes the trailing checksum after a deliberate header or
+// payload mutation, so the test reaches the validation step it aims at
+// instead of tripping the checksum first.
+func reframe(msg []byte) []byte {
+	body := msg[:len(msg)-sha256.Size]
+	sum := sha256.Sum256(body)
+	return append(body, sum[:]...)
+}
+
+// TestRecvDamage drives every damage mode through its own distinct error —
+// the fleet mirror of the snapshot damage contract.
+func TestRecvDamage(t *testing.T) {
+	base := appendMessage(nil, vPush, []byte("frame bytes go here"))
+	cases := []struct {
+		name string
+		mut  func([]byte) []byte
+		want error
+	}{
+		{"bad magic", func(m []byte) []byte {
+			m[0] = 'X'
+			return m
+		}, ErrBadMagic},
+		{"version skew", func(m []byte) []byte {
+			m[4] = ProtocolVersion + 1
+			return reframe(m) // valid checksum: version is rejected on its own
+		}, ErrVersionSkew},
+		{"oversized length prefix", func(m []byte) []byte {
+			binary.LittleEndian.PutUint64(m[6:14], MaxPayload+1)
+			return m
+		}, ErrOversized},
+		{"truncated header", func(m []byte) []byte {
+			return m[:headerSize-3]
+		}, ErrTruncated},
+		{"truncated body", func(m []byte) []byte {
+			return m[:len(m)-5]
+		}, ErrTruncated},
+		{"payload corruption", func(m []byte) []byte {
+			m[headerSize+2] ^= 0x40
+			return m
+		}, ErrChecksum},
+		{"checksum corruption", func(m []byte) []byte {
+			m[len(m)-1] ^= 0x01
+			return m
+		}, ErrChecksum},
+		{"unknown verb", func(m []byte) []byte {
+			m[5] = 0x7F
+			return reframe(m) // checksum-valid frame carrying a verb we don't speak
+		}, ErrUnknownVerb},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			msg := tc.mut(append([]byte(nil), base...))
+			_, _, err := recvWire(msg).recv()
+			if !errors.Is(err, tc.want) {
+				t.Fatalf("recv = %v, want %v", err, tc.want)
+			}
+			// Each failure mode must keep its distinct identity: no other
+			// sentinel may match.
+			for _, other := range []error{ErrBadMagic, ErrVersionSkew, ErrOversized, ErrTruncated, ErrChecksum, ErrUnknownVerb} {
+				if other != tc.want && errors.Is(err, other) {
+					t.Errorf("error %v also matches %v", err, other)
+				}
+			}
+		})
+	}
+}
+
+func TestRecvCleanEOF(t *testing.T) {
+	if _, _, err := recvWire(nil).recv(); err != io.EOF {
+		t.Fatalf("empty stream: err = %v, want io.EOF", err)
+	}
+}
+
+// FuzzRecv feeds arbitrary bytes to the frame reader: it must never panic
+// and never return a valid message unless the checksum genuinely holds.
+func FuzzRecv(f *testing.F) {
+	f.Add(appendMessage(nil, vOpen, []byte("seed")))
+	f.Add(appendMessage(nil, vStats, nil))
+	f.Add([]byte("AGSF garbage that is not a frame"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		v, payload, err := recvWire(data).recv()
+		if err != nil {
+			return
+		}
+		// recv accepted the frame: re-encoding its content must reproduce a
+		// prefix of the input bit for bit.
+		re := appendMessage(nil, v, payload)
+		if len(data) < len(re) || !bytes.Equal(data[:len(re)], re) {
+			t.Fatalf("accepted frame does not round-trip: verb %s, %d byte payload", v, len(payload))
+		}
+	})
+}
+
+func TestErrReplyCodes(t *testing.T) {
+	cases := []struct {
+		code byte
+		want error
+	}{
+		{codeAdmission, ErrAdmission},
+		{codeDraining, ErrDraining},
+	}
+	for _, tc := range cases {
+		err := decodeErrReply(encodeErrReply(nil, tc.code, "node x is busy"))
+		if !errors.Is(err, tc.want) {
+			t.Errorf("code %d: decoded %v, want %v", tc.code, err, tc.want)
+		}
+	}
+	if err := decodeErrReply(encodeErrReply(nil, codeInternal, "boom")); err == nil {
+		t.Error("internal code decoded to nil error")
+	}
+}
+
+func TestPayloadDecodeRejectsTrailingBytes(t *testing.T) {
+	p := encodeOpen(nil, "desk", []byte{1, 2}, []byte{3})
+	p = append(p, 0xFF) // one stray byte
+	if _, _, _, err := decodeOpen(p); err == nil {
+		t.Fatal("decodeOpen accepted trailing bytes")
+	}
+}
+
+func TestPayloadDecodeRejectsOverlongSlice(t *testing.T) {
+	var e wireEnc
+	e.u64(1 << 40) // declared slice length far beyond the payload
+	if _, _, _, err := decodeOpen(e.buf); err == nil {
+		t.Fatal("decodeOpen accepted slice length beyond payload")
+	}
+}
+
+func TestStatsRoundTrip(t *testing.T) {
+	in := NodeStats{Name: "node-a", OpenSessions: 3, Draining: true, MaxSessions: 8, MaxResidentBytes: 1 << 20}
+	in.Pool.Capacity = 4
+	in.Pool.Hits = 17
+	in.Pool.ResidentBytes = 12345
+	out, err := decodeStats(encodeStats(nil, &in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != in {
+		t.Fatalf("stats round-trip: got %+v, want %+v", out, in)
+	}
+}
+
+func TestResultRoundTrip(t *testing.T) {
+	in := ResultSummary{Frames: 16, NumGaussians: 900, ATECm: 3.25, PrunedGaussians: 4, CompactedSlots: 2, ReclaimedBytes: 512, DroppedUpdates: 1}
+	for i := range in.Digest {
+		in.Digest[i] = byte(i * 7)
+	}
+	out, err := decodeResult(encodeResult(nil, &in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != in {
+		t.Fatalf("result round-trip: got %+v, want %+v", out, in)
+	}
+}

@@ -1,0 +1,346 @@
+package fleet
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"ags/internal/camera"
+	"ags/internal/frame"
+	"ags/internal/slam"
+)
+
+// Router is the client-side coordinator: it knows the fleet's nodes, polls
+// their stats over per-node control connections, places each new stream with
+// the consistent-hash-plus-load policy (see Candidates), and falls through
+// the candidate order when a node bounces an open with ErrAdmission or
+// ErrDraining. Each stream gets its own dedicated connection; the router is
+// safe for concurrent Opens, while every Stream keeps slam's one-producer
+// contract (Push/Close/migration from a single goroutine).
+type Router struct {
+	mu    sync.Mutex
+	nodes []*routerNode
+
+	// Placement accounting for the serving report: how many streams landed
+	// on their first-choice candidate, and how many migrated mid-stream.
+	placements  int
+	primaryHits int
+	migrations  int
+}
+
+// routerNode is the router's handle on one fleet node: its dial address and
+// a long-lived control connection for stats and drain, serialized by mu
+// (streams use their own connections).
+type routerNode struct {
+	name string
+	addr string
+
+	mu       sync.Mutex
+	ctrl     *wire
+	draining bool
+}
+
+// NewRouter returns an empty router; AddNode it onto the fleet.
+func NewRouter() *Router { return &Router{} }
+
+// AddNode dials a node's control connection and registers it under the name
+// the node reports for itself.
+func (r *Router) AddNode(addr string) error {
+	ctrl, err := dialWire(addr)
+	if err != nil {
+		return err
+	}
+	st, err := statsOver(ctrl)
+	if err != nil {
+		ctrl.Close()
+		return fmt.Errorf("fleet: add node %s: %w", addr, err)
+	}
+	n := &routerNode{name: st.Name, addr: addr, ctrl: ctrl, draining: st.Draining}
+	r.mu.Lock()
+	r.nodes = append(r.nodes, n)
+	r.mu.Unlock()
+	return nil
+}
+
+// Close tears down the control connections. Streams hold their own
+// connections and must be closed by their producers first.
+func (r *Router) Close() {
+	r.mu.Lock()
+	nodes := r.nodes
+	r.nodes = nil
+	r.mu.Unlock()
+	for _, n := range nodes {
+		n.mu.Lock()
+		if n.ctrl != nil {
+			n.ctrl.Close()
+			n.ctrl = nil
+		}
+		n.mu.Unlock()
+	}
+}
+
+func dialWire(addr string) (*wire, error) {
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("fleet: dial %s: %w", addr, err)
+	}
+	return newWire(c), nil
+}
+
+// statsOver polls one stats report over an already-locked or exclusively
+// owned wire.
+func statsOver(w *wire) (NodeStats, error) {
+	rv, payload, err := w.roundTrip(vStats, nil)
+	if err != nil {
+		return NodeStats{}, err
+	}
+	if rv != vStatsData {
+		return NodeStats{}, fmt.Errorf("fleet: stats reply verb %s", rv)
+	}
+	return decodeStats(payload)
+}
+
+// stats polls one node's control connection.
+func (n *routerNode) stats() (NodeStats, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.ctrl == nil {
+		return NodeStats{}, fmt.Errorf("fleet: node %q: control connection closed", n.name)
+	}
+	st, err := statsOver(n.ctrl)
+	if err != nil {
+		return NodeStats{}, fmt.Errorf("fleet: node %q stats: %w", n.name, err)
+	}
+	n.draining = st.Draining
+	return st, nil
+}
+
+// Stats polls every node's self-report, in registration order.
+func (r *Router) Stats() ([]NodeStats, error) {
+	r.mu.Lock()
+	nodes := append([]*routerNode(nil), r.nodes...)
+	r.mu.Unlock()
+	out := make([]NodeStats, 0, len(nodes))
+	for _, n := range nodes {
+		st, err := n.stats()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, st)
+	}
+	return out, nil
+}
+
+// RouterMetrics is the router's own placement accounting.
+type RouterMetrics struct {
+	// Placements counts successfully opened streams; PrimaryHits counts the
+	// ones that landed on their first-choice candidate (the placement
+	// hit-rate numerator). Migrations counts mid-stream node moves.
+	Placements  int
+	PrimaryHits int
+	Migrations  int
+}
+
+// Metrics snapshots the router's placement accounting.
+func (r *Router) Metrics() RouterMetrics {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return RouterMetrics{Placements: r.placements, PrimaryHits: r.primaryHits, Migrations: r.migrations}
+}
+
+// Drain gracefully drains the named node: the node stops admitting streams,
+// and every live stream routed there migrates — snapshot over the wire,
+// restore on a peer — at its next Push (lazily, so each stream's producer
+// goroutine keeps sole ownership of its session).
+func (r *Router) Drain(name string) error {
+	r.mu.Lock()
+	var target *routerNode
+	for _, n := range r.nodes {
+		if n.name == name {
+			target = n
+			break
+		}
+	}
+	r.mu.Unlock()
+	if target == nil {
+		return fmt.Errorf("fleet: drain: unknown node %q", name)
+	}
+	target.mu.Lock()
+	defer target.mu.Unlock()
+	if target.ctrl == nil {
+		return fmt.Errorf("fleet: drain %q: control connection closed", name)
+	}
+	rv, _, err := target.ctrl.roundTrip(vDrain, nil)
+	if err != nil {
+		return fmt.Errorf("fleet: drain %q: %w", name, err)
+	}
+	if rv != vOK {
+		return fmt.Errorf("fleet: drain %q: reply verb %s", name, rv)
+	}
+	target.draining = true
+	return nil
+}
+
+// snapshotLoads polls all nodes and returns their placement views plus the
+// node handles in matching order.
+func (r *Router) snapshotLoads() ([]*routerNode, []NodeLoad, error) {
+	r.mu.Lock()
+	nodes := append([]*routerNode(nil), r.nodes...)
+	r.mu.Unlock()
+	if len(nodes) == 0 {
+		return nil, nil, fmt.Errorf("fleet: router has no nodes")
+	}
+	loads := make([]NodeLoad, len(nodes))
+	for i, n := range nodes {
+		st, err := n.stats()
+		if err != nil {
+			return nil, nil, err
+		}
+		loads[i] = loadOf(st)
+	}
+	return nodes, loads, nil
+}
+
+// Open places a new stream: candidates in placement order, opened on the
+// first node that admits it. The stream's size class is the intrinsics' W x H
+// — the same key the node-side render-context pools bucket by.
+func (r *Router) Open(name string, cfg slam.Config, intr camera.Intrinsics) (*Stream, error) {
+	nodes, loads, err := r.snapshotLoads()
+	if err != nil {
+		return nil, err
+	}
+	order := Candidates(intr.W, intr.H, loads)
+	if len(order) == 0 {
+		return nil, fmt.Errorf("fleet: open %q: no admitting nodes (all draining or down)", name)
+	}
+	var payload []byte
+	payload = encodeOpen(payload, name,
+		slam.AppendConfig(nil, &cfg), slam.AppendIntrinsics(nil, &intr))
+	var lastErr error
+	for rank, idx := range order {
+		w, err := openOn(nodes[idx].addr, payload)
+		if err != nil {
+			if isPlacementBounce(err) {
+				lastErr = err
+				continue
+			}
+			return nil, fmt.Errorf("fleet: open %q on %q: %w", name, nodes[idx].name, err)
+		}
+		r.mu.Lock()
+		r.placements++
+		if rank == 0 {
+			r.primaryHits++
+		}
+		r.mu.Unlock()
+		return &Stream{r: r, name: name, w: w, node: nodes[idx], sizeW: intr.W, sizeH: intr.H}, nil
+	}
+	return nil, fmt.Errorf("fleet: open %q: every candidate refused: %w", name, lastErr)
+}
+
+// openOn dials a fresh stream connection and opens a session over it.
+func openOn(addr string, openPayload []byte) (*wire, error) {
+	w, err := dialWire(addr)
+	if err != nil {
+		return nil, err
+	}
+	rv, _, err := w.roundTrip(vOpen, openPayload)
+	if err != nil {
+		w.Close()
+		return nil, err
+	}
+	if rv != vOK {
+		w.Close()
+		return nil, fmt.Errorf("fleet: open reply verb %s", rv)
+	}
+	return w, nil
+}
+
+// isPlacementBounce reports whether an open failure means "try the next
+// candidate" rather than a fault.
+func isPlacementBounce(err error) bool {
+	return errors.Is(err, ErrAdmission) || errors.Is(err, ErrDraining)
+}
+
+// Stream is one live camera stream routed across the fleet: the remote
+// mirror of slam.Session's producer half. Push blocks while the serving
+// session's queue is full (the reply is sent only after the node-side Push
+// returns), and Close returns the digest-bearing summary. Like a Session,
+// a Stream must be driven from a single goroutine.
+type Stream struct {
+	r    *Router
+	name string
+
+	w    *wire
+	node *routerNode
+
+	sizeW, sizeH int
+	pushed       int
+	migrations   int
+
+	frameBuf []byte // per-push encode scratch, reused across frames
+}
+
+// Name returns the stream's label.
+func (s *Stream) Name() string { return s.name }
+
+// Node returns the name of the node currently serving the stream.
+func (s *Stream) Node() string { return s.node.name }
+
+// Migrations returns how many times the stream has moved nodes.
+func (s *Stream) Migrations() int { return s.migrations }
+
+// Push sends the next frame in stream order. If the serving node has been
+// marked draining since the last push, the stream first migrates — snapshot,
+// restore on a peer, verified frame count — and then pushes there.
+//
+//ags:hotpath
+func (s *Stream) Push(f *frame.Frame) error {
+	if s.w == nil {
+		return fmt.Errorf("fleet: stream %q: push after Close", s.name)
+	}
+	if s.node.isDraining() {
+		if err := s.migrate(); err != nil {
+			return fmt.Errorf("fleet: stream %q: migrate off %q: %w", s.name, s.node.name, err)
+		}
+	}
+	s.frameBuf = slam.AppendFrame(s.frameBuf[:0], f)
+	rv, _, err := s.w.roundTrip(vPush, s.frameBuf)
+	if err != nil {
+		return fmt.Errorf("fleet: stream %q: push: %w", s.name, err)
+	}
+	if rv != vOK {
+		return fmt.Errorf("fleet: stream %q: push reply verb %s", s.name, rv)
+	}
+	s.pushed++
+	return nil
+}
+
+// Close ends the stream and returns the node-side session's summary; its
+// Digest is bit-identical to a sequential slam.Run over the same frames.
+func (s *Stream) Close() (ResultSummary, error) {
+	if s.w == nil {
+		return ResultSummary{}, fmt.Errorf("fleet: stream %q: already closed", s.name)
+	}
+	w := s.w
+	s.w = nil
+	defer w.Close()
+	rv, payload, err := w.roundTrip(vClose, nil)
+	if err != nil {
+		return ResultSummary{}, fmt.Errorf("fleet: stream %q: close: %w", s.name, err)
+	}
+	if rv != vResult {
+		return ResultSummary{}, fmt.Errorf("fleet: stream %q: close reply verb %s", s.name, rv)
+	}
+	sum, err := decodeResult(payload)
+	if err != nil {
+		return ResultSummary{}, fmt.Errorf("fleet: stream %q: %w", s.name, err)
+	}
+	return sum, nil
+}
+
+func (n *routerNode) isDraining() bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.draining
+}

@@ -1,0 +1,111 @@
+package fleet
+
+import (
+	"ags/internal/splat"
+)
+
+// NodeStats is one node's self-report: the placement inputs (open sessions,
+// pool counters) plus the admission budgets, polled by routers over the
+// control connection before every placement decision and surfaced by the
+// ags-fleet CLI and the perf-fleet experiment.
+type NodeStats struct {
+	// Name is the node's configured identity (its consistent-hash key).
+	Name string
+	// OpenSessions counts the fleet-admitted live streams on the node.
+	OpenSessions int
+	// Draining reports whether the node has been asked to drain.
+	Draining bool
+	// MaxSessions and MaxResidentBytes echo the node's admission budgets
+	// (0 = unlimited).
+	MaxSessions      int
+	MaxResidentBytes int64
+	// Pool snapshots the underlying slam.Server's render-context pool — the
+	// warmth and residency signal placement and admission run on.
+	Pool splat.PoolStats
+}
+
+func encodeStats(buf []byte, st *NodeStats) []byte {
+	e := wireEnc{buf: buf}
+	e.str(st.Name)
+	e.i64(int64(st.OpenSessions))
+	e.boolv(st.Draining)
+	e.i64(int64(st.MaxSessions))
+	e.i64(st.MaxResidentBytes)
+	e.i64(int64(st.Pool.Capacity))
+	e.i64(int64(st.Pool.Idle))
+	e.u64(st.Pool.Hits)
+	e.u64(st.Pool.Misses)
+	e.u64(st.Pool.Evictions)
+	e.i64(st.Pool.ResidentBytes)
+	return e.buf
+}
+
+func decodeStats(b []byte) (NodeStats, error) {
+	d := &wireDec{b: b}
+	var st NodeStats
+	st.Name = d.str()
+	st.OpenSessions = int(d.i64())
+	st.Draining = d.boolv()
+	st.MaxSessions = int(d.i64())
+	st.MaxResidentBytes = d.i64()
+	st.Pool.Capacity = int(d.i64())
+	st.Pool.Idle = int(d.i64())
+	st.Pool.Hits = d.u64()
+	st.Pool.Misses = d.u64()
+	st.Pool.Evictions = d.u64()
+	st.Pool.ResidentBytes = d.i64()
+	return st, d.finish("stats")
+}
+
+// ResultSummary is the close reply: the full Result stays on the node (maps
+// are large), what crosses the wire is the digest — the complete determinism
+// contract in 32 bytes, bit-comparable against a local slam.Run — plus the
+// summary scalars the serving layer reports.
+type ResultSummary struct {
+	// Digest is slam's Result.Digest of the finished session: trajectories,
+	// per-frame decisions, the full Gaussian map, trace workload scalars.
+	Digest [32]byte
+	// Frames is how many frames the session processed.
+	Frames int
+	// NumGaussians is the active map size at close.
+	NumGaussians int
+	// ATECm is the trajectory error in centimeters (NaN when the sequence
+	// carries no ground truth to compare against).
+	ATECm float64
+	// PrunedGaussians / CompactedSlots / ReclaimedBytes total the map
+	// lifecycle accounting over the whole session.
+	PrunedGaussians int
+	CompactedSlots  int
+	ReclaimedBytes  int64
+	// DroppedUpdates counts per-frame updates discarded because nothing
+	// consumed the node-side Results stream (informational; the Result
+	// itself is complete regardless).
+	DroppedUpdates uint64
+}
+
+func encodeResult(buf []byte, r *ResultSummary) []byte {
+	e := wireEnc{buf: buf}
+	e.buf = append(e.buf, r.Digest[:]...)
+	e.i64(int64(r.Frames))
+	e.i64(int64(r.NumGaussians))
+	e.f64(r.ATECm)
+	e.i64(int64(r.PrunedGaussians))
+	e.i64(int64(r.CompactedSlots))
+	e.i64(r.ReclaimedBytes)
+	e.u64(r.DroppedUpdates)
+	return e.buf
+}
+
+func decodeResult(b []byte) (ResultSummary, error) {
+	d := &wireDec{b: b}
+	var r ResultSummary
+	copy(r.Digest[:], d.take(len(r.Digest)))
+	r.Frames = int(d.i64())
+	r.NumGaussians = int(d.i64())
+	r.ATECm = d.f64()
+	r.PrunedGaussians = int(d.i64())
+	r.CompactedSlots = int(d.i64())
+	r.ReclaimedBytes = d.i64()
+	r.DroppedUpdates = d.u64()
+	return r, d.finish("result")
+}

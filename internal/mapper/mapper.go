@@ -45,6 +45,15 @@ type Config struct {
 	// fraction of the measurement get new Gaussians too.
 	DepthErrThresh float64
 	// PruneOpacity deactivates Gaussians whose opacity falls below this.
+	//
+	// The default (0.005) is a safety valve, not an active policy: new
+	// Gaussians are seeded at opacity 0.999 and the default LRLogit moves
+	// logits far too slowly for any to collapse below it within this
+	// reproduction's sequence lengths, so pruning never fires unless the
+	// threshold is raised (or LRLogit turned up) explicitly. Runs that want
+	// real prune pressure must override it — see ags-slam's -prune-opacity
+	// flag and the perf-compact experiment's override (PruneOpacity 0.25
+	// with LRLogit 0.2).
 	PruneOpacity float64
 	// Learning rates per parameter group.
 	LRMean, LRColor, LRLogit, LRScale float64

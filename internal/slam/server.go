@@ -1,6 +1,7 @@
 package slam
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"runtime"
@@ -45,10 +46,16 @@ type Server struct {
 	cfg  ServerConfig
 	pool *splat.ContextPool
 
-	mu     sync.Mutex
-	open   int
-	closed bool
+	mu       sync.Mutex
+	sessions []*Session // open sessions, in open order
+	draining bool
+	closed   bool
 }
+
+// ErrDraining is returned by Open and RestoreSession while the server is
+// draining: existing sessions run to completion, but no new streams are
+// admitted. A fleet frontend reacts by placing the stream on a peer host.
+var ErrDraining = errors.New("slam: server draining")
 
 // NewServer returns a server with its own context pool.
 func NewServer(cfg ServerConfig) *Server {
@@ -86,7 +93,36 @@ func (sv *Server) PoolStats() splat.PoolStats { return sv.pool.Stats() }
 func (sv *Server) OpenSessions() int {
 	sv.mu.Lock()
 	defer sv.mu.Unlock()
-	return sv.open
+	return len(sv.sessions)
+}
+
+// Sessions enumerates the currently open sessions in open order — the hook a
+// host-draining frontend uses to find the live streams it must migrate. The
+// returned slice is a snapshot; the producer contract of each session still
+// belongs to whoever opened it.
+func (sv *Server) Sessions() []*Session {
+	sv.mu.Lock()
+	defer sv.mu.Unlock()
+	out := make([]*Session, len(sv.sessions))
+	copy(out, sv.sessions)
+	return out
+}
+
+// Drain marks the server draining: Open and RestoreSession fail with
+// ErrDraining while already-open sessions keep running. It is the host-local
+// half of a fleet-level graceful drain — the router stops placing streams
+// here and migrates the live ones to peers.
+func (sv *Server) Drain() {
+	sv.mu.Lock()
+	sv.draining = true
+	sv.mu.Unlock()
+}
+
+// Draining reports whether Drain has been called.
+func (sv *Server) Draining() bool {
+	sv.mu.Lock()
+	defer sv.mu.Unlock()
+	return sv.draining
 }
 
 // Close marks the server closed so further Opens fail. It errors while
@@ -94,8 +130,8 @@ func (sv *Server) OpenSessions() int {
 func (sv *Server) Close() error {
 	sv.mu.Lock()
 	defer sv.mu.Unlock()
-	if sv.open > 0 {
-		return fmt.Errorf("slam: server has %d open session(s)", sv.open)
+	if n := len(sv.sessions); n > 0 {
+		return fmt.Errorf("slam: server has %d open session(s)", n)
 	}
 	sv.closed = true
 	return nil
@@ -103,17 +139,13 @@ func (sv *Server) Close() error {
 
 // Open starts a live session: one camera stream processed in frame order on
 // a background goroutine, rendering through the server's context pool. The
-// name labels the session's final Result (its Sequence field).
+// name labels the session's final Result (its Sequence field). It fails on a
+// closed server and, with ErrDraining, on a draining one.
 func (sv *Server) Open(name string, cfg Config, intr camera.Intrinsics) (*Session, error) {
-	sv.mu.Lock()
-	if sv.closed {
-		sv.mu.Unlock()
-		return nil, fmt.Errorf("slam: server is closed")
-	}
-	sv.open++
-	sv.mu.Unlock()
-
 	s := sv.newSession(name, newSystem(cfg, intr, sv.pool, true))
+	if err := sv.register(s); err != nil {
+		return nil, err
+	}
 	go s.loop()
 	return s, nil
 }
@@ -124,20 +156,15 @@ func (sv *Server) Open(name string, cfg Config, intr camera.Intrinsics) (*Sessio
 // producer should Push. Pushing the remainder of the original stream yields a
 // Close Result digest-identical to the uninterrupted session.
 func (sv *Server) RestoreSession(name string, r io.Reader) (*Session, int, error) {
-	sv.mu.Lock()
-	if sv.closed {
-		sv.mu.Unlock()
-		return nil, 0, fmt.Errorf("slam: server is closed")
-	}
-	sv.open++
-	sv.mu.Unlock()
-
 	sys, err := restoreSystem(r, sv.pool, true)
 	if err != nil {
-		sv.sessionClosed()
 		return nil, 0, err
 	}
 	s := sv.newSession(name, sys)
+	if err := sv.register(s); err != nil {
+		sys.Close()
+		return nil, 0, err
+	}
 	go s.loop()
 	return s, sys.FrameCount(), nil
 }
@@ -155,9 +182,30 @@ func (sv *Server) newSession(name string, sys *System) *Session {
 	}
 }
 
-func (sv *Server) sessionClosed() {
+// register adds the session to the open set, re-checking the server state
+// under the same lock so a session can never slip onto a server after Close
+// or Drain succeeded.
+func (sv *Server) register(s *Session) error {
 	sv.mu.Lock()
-	sv.open--
+	defer sv.mu.Unlock()
+	if sv.closed {
+		return fmt.Errorf("slam: server is closed")
+	}
+	if sv.draining {
+		return fmt.Errorf("slam: open %q: %w", s.name, ErrDraining)
+	}
+	sv.sessions = append(sv.sessions, s)
+	return nil
+}
+
+func (sv *Server) sessionClosed(s *Session) {
+	sv.mu.Lock()
+	for i, open := range sv.sessions {
+		if open == s {
+			sv.sessions = append(sv.sessions[:i], sv.sessions[i+1:]...)
+			break
+		}
+	}
 	sv.mu.Unlock()
 }
 
@@ -299,7 +347,7 @@ func (s *Session) Snapshot(w io.Writer) error {
 // the same whichever case the runtime fires first.
 func (s *Session) loop() {
 	defer close(s.done)
-	defer s.sv.sessionClosed()
+	defer s.sv.sessionClosed(s)
 	defer close(s.updates)
 	var pending *frame.Frame // one-frame lookahead under PipelineME
 	for {
