@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet fmt lint bench verify determinism bench-batch profile serve-demo compact-demo fleet-demo
+.PHONY: build test race vet fmt lint bench verify determinism bench-batch profile serve-demo compact-demo fleet-demo chaos-demo
 
 build:
 	$(GO) build ./...
@@ -45,13 +45,15 @@ determinism:
 # contexted-vs-one-shot digests and allocation ratio), perf-serve (which
 # gates cross-session digest equality and the context-pool capacity bound),
 # perf-compact (which gates the compacted-vs-uncompacted digest equality and
-# the reclaimed-slot accounting) and a pipeline experiment through the
-# warm/render scheduler at two jobs, emitting the machine-readable report
-# (CI uploads bench.json so the perf trajectory is recorded). table1 rides
-# along because perf-me alone is dataset-only and would leave the report's
-# per-run wall-time section empty.
+# the reclaimed-slot accounting), perf-chaos (which gates checkpoint-replay
+# recovery under injected faults: digests bit-identical to sequential runs
+# after an unclean node kill and a mid-frame sever) and a pipeline experiment
+# through the warm/render scheduler at two jobs, emitting the
+# machine-readable report (CI uploads bench.json so the perf trajectory is
+# recorded). table1 rides along because perf-me alone is dataset-only and
+# would leave the report's per-run wall-time section empty.
 bench-batch:
-	$(GO) run ./cmd/ags-bench -exp perf-me,perf-render,perf-serve,perf-compact,perf-fleet,table1 -jobs 2 -json bench.json -q
+	$(GO) run ./cmd/ags-bench -exp perf-me,perf-render,perf-serve,perf-compact,perf-fleet,perf-chaos,table1 -jobs 2 -json bench.json -q
 
 # Streaming-server demo: two concurrent camera streams through one
 # slam.Server under the race detector — the quickest end-to-end check that
@@ -75,6 +77,16 @@ compact-demo:
 # placement path and the migration hand-off concurrently.
 fleet-demo:
 	$(GO) run -race ./examples/fleet_migrate
+
+# Fault-tolerance demo: three streams across three loopback fleet nodes, each
+# behind a deterministic fault injector; one node is killed uncleanly
+# mid-stream (listener + every connection, no drain). Streams recover via
+# checkpoint restore + replay and every digest is asserted bit-identical to a
+# sequential run; the router's health check evicts the corpse and re-admits a
+# replacement. Runs under the race detector: recovery re-dials and replays
+# while the node's connection handlers unwind.
+chaos-demo:
+	$(GO) run -race ./examples/fleet_recover
 
 # Profile the splat hot path: runs the perf-render experiment under pprof so
 # perf PRs can attach flame-graph evidence instead of eyeballing wall times.

@@ -7,10 +7,17 @@
 //
 //	ags-fleet serve -name node-a -addr 127.0.0.1:7701
 //	ags-fleet serve -name node-b -addr 127.0.0.1:7702 -max-sessions 4
+//	ags-fleet serve -name node-c -addr 127.0.0.1:7703 -chaos-seed 42 -chaos-kill-after 100
+//	        # fault-injected node: dies uncleanly (listener + every conn) at
+//	        # its 100th wire write, truncation offsets seeded by 42
 //
 //	ags-fleet route -nodes 127.0.0.1:7701,127.0.0.1:7702 -seq Desk,Xyz
 //	ags-fleet route -nodes ... -seq Desk,Xyz -drain-at 12   # drain the first
 //	        stream's node after 12 frames; its sessions migrate mid-stream
+//	ags-fleet route -nodes ... -seq Desk,Xyz -checkpoint-every 4
+//	        # checkpoint-replay recovery: snapshot each stream every 4 acked
+//	        # frames; if its node dies the stream re-places, restores the
+//	        # checkpoint and replays the buffered tail — same digest
 //
 //	ags-fleet stats -nodes 127.0.0.1:7701,127.0.0.1:7702
 //	ags-fleet drain -nodes 127.0.0.1:7701 -node node-a
@@ -18,16 +25,20 @@
 // Route verifies every stream against a local sequential run of the same
 // sequence: the fleet's Result digests must be bit-identical, migrations
 // included (disable with -verify=false to skip the local reference runs).
+// With -checkpoint-every the same bit-identity holds across unclean node
+// death mid-stream.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net"
 	"os"
 	"strings"
 	"time"
 
 	"ags/internal/fleet"
+	"ags/internal/fleet/chaos"
 	"ags/internal/scene"
 	"ags/internal/slam"
 )
@@ -74,6 +85,8 @@ func serveCmd(args []string) error {
 		maxResident = fs.Int64("max-resident-bytes", 0, "reject new streams once the context pool holds this many resident bytes (0 = unlimited)")
 		poolCap     = fs.Int("pool", 0, "render-context pool capacity (0 = 2 x GOMAXPROCS)")
 		queueDepth  = fs.Int("queue", 0, "per-session frame queue depth (0 = default)")
+		chaosSeed   = fs.Uint64("chaos-seed", 0, "fault-injection PRNG seed for mid-frame truncation offsets (0 = no injector unless -chaos-kill-after is set)")
+		chaosKill   = fs.Int("chaos-kill-after", 0, "kill this node uncleanly — listener and every connection — at its Nth wire write (0 = never)")
 	)
 	fs.Parse(args)
 
@@ -83,7 +96,21 @@ func serveCmd(args []string) error {
 		MaxSessions:      *maxSessions,
 		MaxResidentBytes: *maxResident,
 	})
-	bound, err := n.Start(*addr)
+	var bound string
+	var err error
+	if *chaosSeed != 0 || *chaosKill > 0 {
+		ln, lerr := net.Listen("tcp", *addr)
+		if lerr != nil {
+			return lerr
+		}
+		in := chaos.New(chaos.Config{Seed: *chaosSeed, KillAtWrite: *chaosKill})
+		bound, err = n.StartOn(in.Listen(ln))
+		if err == nil {
+			fmt.Printf("fault injector armed: seed %d, kill at write %d\n", *chaosSeed, *chaosKill)
+		}
+	} else {
+		bound, err = n.Start(*addr)
+	}
 	if err != nil {
 		return err
 	}
@@ -119,6 +146,7 @@ func routeCmd(args []string) error {
 		frames  = fs.Int("frames", 24, "frames per sequence")
 		algo    = fs.String("algo", "ags", "baseline | ags | mat | gcm")
 		drainAt = fs.Int("drain-at", 0, "after this many frames, drain the node serving the first stream (0 = never)")
+		ckEvery = fs.Int("checkpoint-every", 0, "checkpoint-replay recovery: snapshot each stream every N acked frames and survive node death (0 = recovery off)")
 		verify  = fs.Bool("verify", true, "run each sequence locally too and assert the fleet digests match")
 	)
 	fs.Parse(args)
@@ -159,7 +187,7 @@ func routeCmd(args []string) error {
 
 	streams := make([]*fleet.Stream, len(sequences))
 	for i, seq := range sequences {
-		st, err := r.Open(seq.Name, cfg, seq.Intr)
+		st, err := r.OpenWith(seq.Name, cfg, seq.Intr, fleet.StreamOptions{CheckpointEvery: *ckEvery})
 		if err != nil {
 			return err
 		}
@@ -202,11 +230,13 @@ func routeCmd(args []string) error {
 	fmt.Printf("\n%d streams, %d frames in %s (%.2f frames/s)\n",
 		len(streams), pushed, elapsed.Round(time.Millisecond), float64(pushed)/elapsed.Seconds())
 	for i, sum := range sums {
-		fmt.Printf("  %-8s on %-8s digest %x  frames %d  gaussians %d  migrations %d\n",
-			names[i], streams[i].Node(), sum.Digest[:8], sum.Frames, sum.NumGaussians, streams[i].Migrations())
+		fmt.Printf("  %-8s on %-8s digest %x  frames %d  gaussians %d  migrations %d  recoveries %d (%d frame(s) replayed)\n",
+			names[i], streams[i].Node(), sum.Digest[:8], sum.Frames, sum.NumGaussians,
+			streams[i].Migrations(), streams[i].Recoveries(), streams[i].Replayed())
 	}
 	m := r.Metrics()
-	fmt.Printf("placement: %d/%d on first choice, %d migration(s)\n", m.PrimaryHits, m.Placements, m.Migrations)
+	fmt.Printf("placement: %d/%d on first choice, %d migration(s), %d recovery(ies) replaying %d frame(s)\n",
+		m.PrimaryHits, m.Placements, m.Migrations, m.Recoveries, m.ReplayedFrames)
 
 	if *verify {
 		fmt.Printf("\nverifying against local sequential runs...\n")

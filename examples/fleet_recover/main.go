@@ -1,0 +1,177 @@
+// Fleet recover: serve live streams across a 3-node fleet over loopback TCP
+// and kill one node uncleanly mid-stream — listener and every connection torn
+// down at once, no drain, no snapshot handoff. Streams opened with
+// checkpoint-replay recovery re-place themselves on a surviving node, restore
+// their last over-the-wire checkpoint, replay the buffered tail, and finish
+// with digests bit-identical to sequential in-process runs.
+//
+// The demo boots three in-process fleet.Nodes behind deterministic fault
+// injectors (fleet/chaos), routes three streams across them with
+// CheckpointEvery=2, then kills whichever node serves the first stream
+// halfway through. It then shows the router's health check evicting the dead
+// node from the ring, starts a replacement on the same address, and shows the
+// next health check re-admitting it.
+//
+//	go run -race ./examples/fleet_recover
+package main
+
+import (
+	"fmt"
+	"log"
+	"net"
+
+	"ags/internal/fleet"
+	"ags/internal/fleet/chaos"
+	"ags/internal/scene"
+	"ags/internal/slam"
+)
+
+const (
+	width, height = 48, 36
+	frames        = 6
+)
+
+func main() {
+	cfg := slam.AGSConfig(width, height)
+	cfg.TrackIters = 12 // scaled-down N_T for a quick demo
+	cfg.IterT = 4
+	cfg.Mapper.MapIters = 6
+	cfg.Mapper.DensifyStride = 2
+
+	// 1. Sequential references: the digests recovery must reproduce.
+	names := []string{"Desk", "Xyz", "Room"}
+	seqs := make([]*scene.Sequence, len(names))
+	refs := make([][32]byte, len(names))
+	for i, name := range names {
+		seq, err := scene.Generate(name, scene.Config{
+			Width: width, Height: height, Frames: frames, Seed: 1,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		seqs[i] = seq
+		res, err := slam.NewServer(slam.ServerConfig{}).Run(cfg, seq)
+		if err != nil {
+			log.Fatal(err)
+		}
+		refs[i] = res.Digest()
+	}
+
+	// 2. Three nodes over loopback, each behind a fault injector.
+	router := fleet.NewRouter()
+	nodeNames := []string{"node-a", "node-b", "node-c"}
+	nodes := make(map[string]*fleet.Node, len(nodeNames))
+	injs := make(map[string]*chaos.Injector, len(nodeNames))
+	addrs := make(map[string]string, len(nodeNames))
+	for i, name := range nodeNames {
+		in := chaos.New(chaos.Config{Seed: 0xFEE7 + uint64(i)})
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			log.Fatal(err)
+		}
+		n := fleet.NewNode(fleet.NodeConfig{Name: name})
+		addr, err := n.StartOn(in.Listen(ln))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s listening on %s (fault injector armed)\n", name, addr)
+		nodes[name], injs[name], addrs[name] = n, in, addr
+		if err := router.AddNode(addr); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// 3. Open the streams with recovery enabled: every 2 acked frames the
+	// router snapshots the remote session (its checkpoint) and buffers the
+	// frames pushed since (its replay tail).
+	streams := make([]*fleet.Stream, len(seqs))
+	for i, seq := range seqs {
+		st, err := router.OpenWith(seq.Name, cfg, seq.Intr, fleet.StreamOptions{CheckpointEvery: 2})
+		if err != nil {
+			log.Fatal(err)
+		}
+		streams[i] = st
+		fmt.Printf("stream %-5s placed on %s\n", seq.Name, st.Node())
+	}
+
+	// 4. Push round-robin; halfway through, kill the first stream's node
+	// uncleanly — no drain, no goodbye. The injector closes the listener and
+	// severs every live connection at once.
+	var victim string
+	for f := 0; f < frames; f++ {
+		if f == frames/2 {
+			victim = streams[0].Node()
+			fmt.Printf("killing %s uncleanly at frame %d\n", victim, f)
+			injs[victim].Kill()
+		}
+		for i, seq := range seqs {
+			if err := streams[i].Push(seq.Frames[f]); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+
+	// 5. The health check sees the corpse and evicts it from the ring.
+	evicted := 0
+	for _, h := range router.CheckHealth() {
+		if h.Evicted {
+			evicted++
+			fmt.Printf("health check: %s unreachable, evicted from the ring\n", h.Name)
+		}
+	}
+	if evicted != 1 {
+		log.Fatalf("health check evicted %d node(s), want exactly 1", evicted)
+	}
+
+	// 6. Close and verify: digests must match the sequential runs exactly,
+	// node death notwithstanding.
+	recoveries, replayed := 0, 0
+	for i, st := range streams {
+		sum, err := st.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		recoveries += st.Recoveries()
+		replayed += st.Replayed()
+		if sum.Digest != refs[i] {
+			log.Fatalf("stream %s: digest diverged after recovery", names[i])
+		}
+		fmt.Printf("stream %-5s finished on %-6s after %d recovery(ies), %d frame(s) replayed: digest %x identical to sequential run\n",
+			names[i], st.Node(), st.Recoveries(), st.Replayed(), sum.Digest[:8])
+	}
+	if recoveries == 0 {
+		log.Fatal("expected at least one checkpoint-replay recovery")
+	}
+	if replayed == 0 {
+		log.Fatal("expected at least one replayed frame")
+	}
+
+	// 7. A replacement node comes up on the dead node's address; the next
+	// health check re-admits it into the ring.
+	repl := fleet.NewNode(fleet.NodeConfig{Name: victim})
+	if _, err := repl.Start(addrs[victim]); err != nil {
+		log.Fatal(err)
+	}
+	for _, h := range router.CheckHealth() {
+		if h.Readmitted {
+			fmt.Printf("health check: %s back, re-admitted into the ring\n", h.Name)
+		}
+	}
+
+	m := router.Metrics()
+	fmt.Printf("router: %d recovery(ies) replaying %d frame(s) — all digests bit-identical\n",
+		m.Recoveries, m.ReplayedFrames)
+
+	router.Close()
+	for _, name := range nodeNames {
+		if name == victim {
+			continue // killed uncleanly; its process state is gone
+		}
+		if err := nodes[name].Close(); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := repl.Close(); err != nil {
+		log.Fatal(err)
+	}
+}

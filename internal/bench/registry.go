@@ -93,6 +93,7 @@ func Experiments() []Experiment {
 		expPerfServe(),
 		expPerfCompact(),
 		expPerfFleet(),
+		expPerfChaos(),
 	}
 }
 

@@ -1,0 +1,189 @@
+package chaos
+
+import (
+	"bytes"
+	"io"
+	"net"
+	"testing"
+)
+
+// The injector's one random choice — where inside a doomed frame the cut
+// lands — must be a pure function of the seed.
+func TestSeededCutsAreReproducible(t *testing.T) {
+	cuts := func(seed uint64) []int {
+		in := New(Config{Seed: seed})
+		out := make([]int, 0, 8)
+		for i := 0; i < 8; i++ {
+			in.ArmSever(1)
+			action, cut := in.onWrite(1000)
+			if action != actSever {
+				t.Fatalf("write %d: action %d, want sever", i, action)
+			}
+			if cut < 1 || cut > 999 {
+				t.Fatalf("write %d: cut %d outside (0, 1000)", i, cut)
+			}
+			out = append(out, cut)
+		}
+		return out
+	}
+	a, b := cuts(7), cuts(7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at cut %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+	c := cuts(8)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical cut schedules")
+	}
+}
+
+func TestOneByteFramesCannotTruncate(t *testing.T) {
+	in := New(Config{Seed: 3, SeverAtWrite: 1})
+	action, cut := in.onWrite(1)
+	if action != actSever || cut != 0 {
+		t.Fatalf("1-byte sever: action %d cut %d, want sever with 0 bytes out", action, cut)
+	}
+	if st := in.Stats(); st.Truncations != 0 {
+		t.Fatalf("truncations %d, want 0 for an empty prefix", st.Truncations)
+	}
+}
+
+// A sever kills exactly one connection mid-frame; the listener and the
+// endpoint live on.
+func TestSeverCutsMidFrame(t *testing.T) {
+	in := New(Config{Seed: 1, SeverAtWrite: 2})
+	inner, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln := in.Listen(inner)
+	defer in.Kill()
+	accepted := make(chan net.Conn, 2)
+	//ags:allow(goroutine-site, test fan-out: accept loop feeding loopback conns to the test body)
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			accepted <- c
+		}
+	}()
+	client, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := <-accepted
+	msg := bytes.Repeat([]byte("x"), 256)
+	if _, err := srv.Write(msg); err != nil {
+		t.Fatalf("write 1 should pass: %v", err)
+	}
+	n, err := srv.Write(msg)
+	if err == nil {
+		t.Fatal("write 2 should be severed")
+	}
+	if n < 1 || n >= len(msg) {
+		t.Fatalf("severed write let %d/%d bytes out, want a strict mid-frame cut", n, len(msg))
+	}
+	got, _ := io.ReadAll(client)
+	if len(got) != len(msg)+n {
+		t.Fatalf("client saw %d bytes, want %d (one full frame + the cut prefix)", len(got), len(msg)+n)
+	}
+	if st := in.Stats(); st.Writes != 2 || st.Severs != 1 || st.Truncations != 1 || st.Kills != 0 {
+		t.Fatalf("stats after sever: %+v", st)
+	}
+	// The endpoint survives a sever: new connections still land.
+	c2, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatalf("listener died with the severed conn: %v", err)
+	}
+	c2.Close()
+}
+
+// Kill takes down the listener and every live connection at once, and is
+// idempotent.
+func TestKillClosesListenerAndConns(t *testing.T) {
+	in := New(Config{Seed: 2})
+	inner, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln := in.Listen(inner)
+	accepted := make(chan net.Conn, 2)
+	//ags:allow(goroutine-site, test fan-out: accept loop feeding loopback conns to the test body)
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			accepted <- c
+		}
+	}()
+	c1, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-accepted
+	<-accepted
+	in.Kill()
+	if !in.Killed() {
+		t.Fatal("Killed() false after Kill")
+	}
+	buf := make([]byte, 1)
+	if _, err := c1.Read(buf); err != io.EOF {
+		t.Fatalf("conn 1 read after kill: %v, want EOF", err)
+	}
+	if _, err := c2.Read(buf); err != io.EOF {
+		t.Fatalf("conn 2 read after kill: %v, want EOF", err)
+	}
+	if _, err := ln.Accept(); err == nil {
+		t.Fatal("accept succeeded after kill")
+	}
+	in.Kill() // idempotent
+	if st := in.Stats(); st.Kills != 1 {
+		t.Fatalf("kills %d after double Kill, want 1", st.Kills)
+	}
+}
+
+// KillAtWrite from Config (the CLI's -chaos-kill-after path) fires without
+// any Arm call.
+func TestConfigScheduledKill(t *testing.T) {
+	in := New(Config{Seed: 5, KillAtWrite: 1})
+	inner, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln := in.Listen(inner)
+	accepted := make(chan net.Conn, 1)
+	//ags:allow(goroutine-site, test fan-out: single accept for a loopback conn)
+	go func() {
+		c, err := ln.Accept()
+		if err == nil {
+			accepted <- c
+		}
+	}()
+	client, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	srv := <-accepted
+	if _, err := srv.Write(bytes.Repeat([]byte("y"), 64)); err == nil {
+		t.Fatal("first write should trigger the scheduled kill")
+	}
+	if !in.Killed() {
+		t.Fatal("endpoint not killed by KillAtWrite")
+	}
+}

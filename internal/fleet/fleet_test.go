@@ -2,9 +2,11 @@ package fleet
 
 import (
 	"errors"
+	"runtime"
 	"slices"
 	"sync"
 	"testing"
+	"time"
 
 	"ags/internal/scene"
 	"ags/internal/slam"
@@ -278,6 +280,69 @@ func TestStatsReflectLoad(t *testing.T) {
 	}
 	if got := nodes[0].Stats(); got.OpenSessions != 0 {
 		t.Errorf("OpenSessions after close = %d, want 0", got.OpenSessions)
+	}
+}
+
+// TestNodeCloseMidPushNoGoroutineLeak closes a node while a producer is
+// mid-stream: Close must stop accepting, let the in-flight handler finish
+// its one request, and join every goroutine — nothing may leak and nothing
+// may race (the suite runs under -race via make verify).
+func TestNodeCloseMidPushNoGoroutineLeak(t *testing.T) {
+	cfg := fastCfg()
+	seq := testSeq(t, "Desk", 30)
+	before := runtime.NumGoroutine()
+
+	n := NewNode(NodeConfig{Name: "a"})
+	addr, err := n.Start("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewRouter()
+	if err := r.AddNode(addr); err != nil {
+		t.Fatal(err)
+	}
+	st, err := r.Open(seq.Name, cfg, seq.Intr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	started := make(chan struct{})
+	done := make(chan error, 1)
+	//ags:allow(goroutine-site, test fan-out: one producer pushing against the closing node, joined via done)
+	go func() {
+		for i, f := range seq.Frames {
+			if i == 1 {
+				close(started) // at least one push acked; the rest race Close
+			}
+			if err := st.Push(f); err != nil {
+				done <- err
+				return
+			}
+		}
+		done <- nil
+	}()
+	<-started
+	if err := n.Close(); err != nil {
+		t.Fatalf("node close: %v", err)
+	}
+	if perr := <-done; perr == nil {
+		t.Fatal("all 30 pushes succeeded despite the node closing mid-stream")
+	} else if !errors.Is(perr, ErrNodeLost) {
+		t.Fatalf("push against closing node: %v, want ErrNodeLost", perr)
+	}
+	r.Close()
+
+	// Every node goroutine (accept loop, conn handlers, session workers)
+	// must be joined; give the runtime a moment to retire them.
+	leaked := 0
+	for i := 0; i < 100; i++ {
+		if leaked = runtime.NumGoroutine() - before; leaked <= 0 {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if leaked > 0 {
+		t.Errorf("%d goroutine(s) leaked after Node.Close (%d before, %d after)",
+			leaked, before, runtime.NumGoroutine())
 	}
 }
 

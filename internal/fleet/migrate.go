@@ -43,6 +43,12 @@ func (s *Stream) migrate() error {
 		return fmt.Errorf("snapshot reply verb %s", rv)
 	}
 	snap := append([]byte(nil), payload...)
+	if s.recoveryEnabled() {
+		// The drain snapshot is as good as a scheduled checkpoint: adopt it
+		// so a node death later in the hand-off (or any time after) recovers
+		// from this exact point with an empty replay buffer.
+		s.setCheckpoint(snap, s.pushed)
+	}
 
 	// 2. Close the old session; its partial Result is superseded by the
 	// snapshot. A failure here still leaves the snapshot usable, so only a
@@ -54,7 +60,7 @@ func (s *Stream) migrate() error {
 	s.teardown()
 
 	// 3. Restore on the best admitting peer, placement order.
-	nodes, loads, err := s.r.snapshotLoads()
+	nodes, loads, err := s.r.reachableLoads()
 	if err != nil {
 		return err
 	}
@@ -68,6 +74,13 @@ func (s *Stream) migrate() error {
 		w, frames, err := restoreOn(nodes[idx].addr, restorePayload)
 		if err != nil {
 			if isPlacementBounce(err) {
+				lastErr = err
+				continue
+			}
+			if isNodeLoss(err) {
+				// The peer died between the load poll and the restore; evict
+				// it and keep walking the candidate order.
+				nodes[idx].markUnreachable()
 				lastErr = err
 				continue
 			}

@@ -40,7 +40,7 @@ type Node struct {
 
 	mu      sync.Mutex
 	ln      net.Listener
-	conns   map[net.Conn]struct{}
+	conns   map[net.Conn]*connState
 	streams int // fleet-admitted live sessions (reserved before Open)
 	closed  bool
 
@@ -55,7 +55,7 @@ func NewNode(cfg NodeConfig) *Node {
 	return &Node{
 		cfg:   cfg,
 		srv:   slam.NewServer(cfg.Server),
-		conns: make(map[net.Conn]struct{}),
+		conns: make(map[net.Conn]*connState),
 	}
 }
 
@@ -73,6 +73,14 @@ func (n *Node) Start(addr string) (string, error) {
 	if err != nil {
 		return "", fmt.Errorf("fleet: node %q listen: %w", n.cfg.Name, err)
 	}
+	return n.StartOn(ln)
+}
+
+// StartOn serves connections from an already-built listener until Close —
+// the seam the chaos fault injector wraps (chaos.Injector.Listen) so a node
+// can be served through a deterministic fault schedule without the node
+// knowing. It returns the listener's address for routers to dial.
+func (n *Node) StartOn(ln net.Listener) (string, error) {
 	n.mu.Lock()
 	if n.closed {
 		n.mu.Unlock()
@@ -95,16 +103,17 @@ func (n *Node) Serve() {
 		if err != nil {
 			return // listener closed by Close
 		}
+		cs := &connState{w: newWire(c)}
 		n.mu.Lock()
 		if n.closed {
 			n.mu.Unlock()
 			c.Close()
 			return
 		}
-		n.conns[c] = struct{}{}
+		n.conns[c] = cs
 		n.mu.Unlock()
 		n.wg.Add(1)
-		go n.serveConn(c)
+		go n.serveConn(c, cs)
 	}
 }
 
@@ -137,9 +146,13 @@ func (n *Node) Stats() NodeStats {
 	}
 }
 
-// Close stops the listener, tears down live connections (abandoning their
-// sessions' partial results), waits for every handler to exit, and closes
-// the wrapped server.
+// Close stops the listener, then shuts connections down gracefully instead
+// of racing their handlers: an idle connection (handler blocked in recv) is
+// closed outright, while a handler mid-dispatch finishes its one in-flight
+// request — sending the reply the remote producer is already blocked on —
+// and then exits. The wait is bounded because each handler processes at most
+// the single request it already started; no new requests begin once the
+// closing flag is set. Abandoned sessions lose their partial results.
 func (n *Node) Close() error {
 	n.mu.Lock()
 	if n.closed {
@@ -149,17 +162,22 @@ func (n *Node) Close() error {
 	}
 	n.closed = true
 	ln := n.ln
-	conns := make([]net.Conn, 0, len(n.conns))
-	//ags:allow(maprange, order-independent: every collected conn is closed; no output depends on the iteration order)
-	for c := range n.conns {
-		conns = append(conns, c)
+	states := make([]*connState, 0, len(n.conns))
+	//ags:allow(maprange, order-independent: every collected conn is asked to close; no output depends on the iteration order)
+	for _, cs := range n.conns {
+		states = append(states, cs)
 	}
 	n.mu.Unlock()
 	if ln != nil {
 		ln.Close()
 	}
-	for _, c := range conns {
-		c.Close()
+	for _, cs := range states {
+		if cs.beginClose() {
+			// Idle: the handler is blocked in recv; closing the conn unblocks
+			// it. Busy handlers see the closing flag after their dispatch and
+			// close themselves.
+			cs.w.Close()
+		}
 	}
 	n.wg.Wait()
 	return n.srv.Close()
@@ -195,21 +213,57 @@ func (n *Node) releaseAdmission() {
 	n.mu.Unlock()
 }
 
-// connState is the per-connection session binding.
+// connState is the per-connection session binding plus the tiny handshake
+// Node.Close uses to stop the handler without racing an in-flight dispatch.
 type connState struct {
 	w        *wire
 	sess     *slam.Session
 	admitted bool
 	replyBuf []byte // reply payload scratch, reused across messages
+
+	mu      sync.Mutex
+	busy    bool // a dispatch is running on the handler goroutine
+	closing bool // Node.Close asked the handler to exit
+}
+
+// begin claims the connection for one dispatch; false means the node is
+// closing and the handler must exit without starting the request.
+func (cs *connState) begin() bool {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	if cs.closing {
+		return false
+	}
+	cs.busy = true
+	return true
+}
+
+// end releases the dispatch claim and reports whether Node.Close asked the
+// connection to shut down while the dispatch ran.
+func (cs *connState) end() bool {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	cs.busy = false
+	return cs.closing
+}
+
+// beginClose marks the connection closing and reports whether the caller
+// must close the conn itself: true for an idle handler (blocked in recv,
+// needs the close to unblock), false for a busy one (it finishes its
+// in-flight request, replies, then exits on the closing flag).
+func (cs *connState) beginClose() bool {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	cs.closing = true
+	return !cs.busy
 }
 
 // serveConn runs one connection's request/response loop until the peer
-// disconnects or a send fails. A torn-down connection with a live session
-// closes the session (its result is lost with its producer) and returns the
-// admission slot.
-func (n *Node) serveConn(c net.Conn) {
+// disconnects, a send fails, or the node closes. A torn-down connection with
+// a live session closes the session (its result is lost with its producer)
+// and returns the admission slot.
+func (n *Node) serveConn(c net.Conn, cs *connState) {
 	defer n.wg.Done()
-	cs := &connState{w: newWire(c)}
 	defer func() {
 		if cs.sess != nil {
 			cs.sess.Close()
@@ -227,7 +281,11 @@ func (n *Node) serveConn(c net.Conn) {
 		if err != nil {
 			return // clean EOF or damage; either way the conversation is over
 		}
-		if !n.dispatch(cs, v, payload) {
+		if !cs.begin() {
+			return // node closing; drop the request unhandled
+		}
+		ok := n.dispatch(cs, v, payload)
+		if closing := cs.end(); !ok || closing {
 			return
 		}
 	}
@@ -249,6 +307,11 @@ func (n *Node) dispatch(cs *connState, v verb, payload []byte) bool {
 		return n.handleRestore(cs, payload)
 	case vDrain:
 		n.srv.Drain()
+		return n.replyOK(cs, 0)
+	case vPing:
+		// Liveness probe: answers on any connection (control or
+		// session-bound) without touching session state, so a router health
+		// check never perturbs a live stream.
 		return n.replyOK(cs, 0)
 	case vStats:
 		st := n.Stats()

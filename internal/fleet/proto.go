@@ -88,7 +88,7 @@ var (
 )
 
 // verb identifies a message's meaning. Requests: open, push, close,
-// snapshot, restore, drain, stats. Responses: ok, result, snapData,
+// snapshot, restore, drain, stats, ping. Responses: ok, result, snapData,
 // statsData, errReply.
 type verb byte
 
@@ -100,6 +100,7 @@ const (
 	vRestore
 	vDrain
 	vStats
+	vPing
 	vOK
 	vResult
 	vSnapData
@@ -111,9 +112,9 @@ const (
 
 var verbNames = [...]string{
 	vOpen: "open", vPush: "push", vClose: "close", vSnapshot: "snapshot",
-	vRestore: "restore", vDrain: "drain", vStats: "stats", vOK: "ok",
-	vResult: "result", vSnapData: "snap-data", vStatsData: "stats-data",
-	vErrReply: "err",
+	vRestore: "restore", vDrain: "drain", vStats: "stats", vPing: "ping",
+	vOK: "ok", vResult: "result", vSnapData: "snap-data",
+	vStatsData: "stats-data", vErrReply: "err",
 }
 
 func (v verb) String() string {
@@ -382,11 +383,26 @@ func decodeErrReply(b []byte) error {
 		return fmt.Errorf("%w: %s", ErrAdmission, msg)
 	case codeDraining:
 		return fmt.Errorf("%w: %s", ErrDraining, msg)
-	case codeProto:
-		return fmt.Errorf("fleet: protocol misuse: %s", msg)
 	default:
-		return fmt.Errorf("fleet: remote error: %s", msg)
+		return &remoteError{code: code, msg: msg}
 	}
+}
+
+// remoteError is a decoded vErrReply that is not a placement bounce: the
+// remote is alive and answered — the failure is in the request, not the
+// transport. Recovery classification (isNodeLoss) keys on this type: a
+// remoteError must never trigger a checkpoint-replay re-place, because
+// replaying the same conversation to another node would fail identically.
+type remoteError struct {
+	code byte
+	msg  string
+}
+
+func (e *remoteError) Error() string {
+	if e.code == codeProto {
+		return "fleet: protocol misuse: " + e.msg
+	}
+	return "fleet: remote error: " + e.msg
 }
 
 // --- open / restore payloads -------------------------------------------

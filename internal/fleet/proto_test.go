@@ -6,6 +6,7 @@ import (
 	"crypto/sha256"
 	"encoding/binary"
 	"errors"
+	"fmt"
 	"io"
 	"testing"
 )
@@ -111,6 +112,91 @@ func TestRecvDamage(t *testing.T) {
 	}
 }
 
+// TestRecvDamagePing mirrors TestRecvDamage for the ping verb: every
+// corruption of a (payload-less) ping frame must land on exactly one
+// sentinel, so a health probe can never mistake damage for liveness.
+func TestRecvDamagePing(t *testing.T) {
+	base := appendMessage(nil, vPing, nil)
+	cases := []struct {
+		name string
+		mut  func([]byte) []byte
+		want error
+	}{
+		{"bad magic", func(m []byte) []byte {
+			m[0] = 'X'
+			return m
+		}, ErrBadMagic},
+		{"version skew", func(m []byte) []byte {
+			m[4] = ProtocolVersion + 1
+			return reframe(m)
+		}, ErrVersionSkew},
+		{"oversized length prefix", func(m []byte) []byte {
+			binary.LittleEndian.PutUint64(m[6:14], MaxPayload+1)
+			return m
+		}, ErrOversized},
+		{"truncated header", func(m []byte) []byte {
+			return m[:headerSize-3]
+		}, ErrTruncated},
+		{"truncated checksum", func(m []byte) []byte {
+			return m[:len(m)-5]
+		}, ErrTruncated},
+		{"checksum corruption", func(m []byte) []byte {
+			m[len(m)-1] ^= 0x01
+			return m
+		}, ErrChecksum},
+		{"verb corruption", func(m []byte) []byte {
+			m[5] = 0x7F
+			return reframe(m)
+		}, ErrUnknownVerb},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			msg := tc.mut(append([]byte(nil), base...))
+			_, _, err := recvWire(msg).recv()
+			if !errors.Is(err, tc.want) {
+				t.Fatalf("recv = %v, want %v", err, tc.want)
+			}
+			for _, other := range []error{ErrBadMagic, ErrVersionSkew, ErrOversized, ErrTruncated, ErrChecksum, ErrUnknownVerb} {
+				if other != tc.want && errors.Is(err, other) {
+					t.Errorf("error %v also matches %v", err, other)
+				}
+			}
+		})
+	}
+	// The undamaged frame decodes to exactly a ping.
+	if v, p, err := recvWire(base).recv(); err != nil || v != vPing || len(p) != 0 {
+		t.Fatalf("clean ping frame: verb %s payload %d err %v", v, len(p), err)
+	}
+}
+
+// TestErrorClassification pins the recovery layer's transport/application
+// split: a reply from a live node (remote error, placement bounce) must
+// never be classified as node loss, and genuine transport damage must be.
+func TestErrorClassification(t *testing.T) {
+	alive := []error{
+		decodeErrReply(encodeErrReply(nil, codeInternal, "boom")),
+		decodeErrReply(encodeErrReply(nil, codeProto, "bad request")),
+		decodeErrReply(encodeErrReply(nil, codeAdmission, "full")),
+		decodeErrReply(encodeErrReply(nil, codeDraining, "draining")),
+	}
+	for _, err := range alive {
+		if isNodeLoss(err) {
+			t.Errorf("reply from a live node classified as node loss: %v", err)
+		}
+	}
+	dead := []error{
+		io.EOF,
+		ErrTruncated,
+		ErrChecksum,
+		fmt.Errorf("write tcp 127.0.0.1: broken pipe"),
+	}
+	for _, err := range dead {
+		if !isNodeLoss(err) {
+			t.Errorf("transport failure not classified as node loss: %v", err)
+		}
+	}
+}
+
 func TestRecvCleanEOF(t *testing.T) {
 	if _, _, err := recvWire(nil).recv(); err != io.EOF {
 		t.Fatalf("empty stream: err = %v, want io.EOF", err)
@@ -122,6 +208,7 @@ func TestRecvCleanEOF(t *testing.T) {
 func FuzzRecv(f *testing.F) {
 	f.Add(appendMessage(nil, vOpen, []byte("seed")))
 	f.Add(appendMessage(nil, vStats, nil))
+	f.Add(appendMessage(nil, vPing, nil))
 	f.Add([]byte("AGSF garbage that is not a frame"))
 	f.Add([]byte{})
 	f.Fuzz(func(t *testing.T, data []byte) {

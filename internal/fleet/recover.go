@@ -1,0 +1,362 @@
+package fleet
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// Checkpoint-replay recovery: surviving *unclean* node death without moving
+// a single output bit. Graceful drain (migrate.go) can ask the dying node
+// for a snapshot; an uncleanly killed node cannot be asked for anything, so
+// the stream keeps its own insurance on the router side:
+//
+//   - a checkpoint: the last AGSSNAP snapshot taken over the wire (the same
+//     snapshot verb migration uses) every CheckpointEvery acknowledged
+//     pushes, and
+//   - a replay buffer: every encoded frame acknowledged since that
+//     checkpoint, in push order — bounded by CheckpointEvery frames (plus
+//     the one in flight), because the buffer is cleared each time a
+//     checkpoint lands.
+//
+// When a push, snapshot, or close fails, the error is classified first
+// (isNodeLoss): placement bounces and remote application errors are not
+// node loss and are never retried elsewhere — replaying the same
+// conversation to another node would fail identically. A transport failure
+// is node loss: the stream re-places itself through the same consistent-hash
+// candidate order as Open, restores the checkpoint on the chosen peer
+// (frame-count checked, exactly like migration), replays the buffered frames
+// in order, and continues as if nothing happened. Because the snapshot codec
+// is the determinism contract, the recovered stream's Close digest is
+// bit-identical to an undisturbed sequential run — asserted under -race by
+// the recovery tests and gated continuously by the perf-chaos experiment.
+//
+// Transient placement failures (every reachable peer bounced the restore, or
+// no peer is reachable yet) are retried with a bounded, deterministic
+// backoff: the delay is a pure function of the attempt index — no clock is
+// read — so the retry schedule is identical on every run.
+
+// Recovery failure modes, distinct and testable.
+var (
+	// ErrNodeLost: the connection to the stream's serving node failed and
+	// the stream could not (or was not configured to) recover. Errors
+	// wrapping it carry a *NodeLostError with the node's name and the
+	// last-acknowledged frame count.
+	ErrNodeLost = errors.New("fleet: serving node lost")
+	// ErrNoPeer: a recovery attempt found no peer that would take the
+	// stream (none reachable, or every candidate bounced). Transient: the
+	// recovery loop retries it with deterministic backoff.
+	ErrNoPeer = errors.New("fleet: no admitting peer for recovery")
+	// ErrRecoveryExhausted: every bounded recovery attempt failed.
+	ErrRecoveryExhausted = errors.New("fleet: recovery attempts exhausted")
+)
+
+// errRecoveryFatal marks recovery failures no other candidate can fix (for
+// example a restore continuity mismatch): the attempt loop stops
+// immediately instead of walking the remaining candidates.
+var errRecoveryFatal = errors.New("fleet: recovery cannot proceed")
+
+// NodeLostError reports which node died under a stream and how many frames
+// it had acknowledged — the resume point a caller with its own frame source
+// could replay from. errors.Is(err, ErrNodeLost) matches it.
+type NodeLostError struct {
+	Node  string // name of the lost node
+	Acked int    // frames acknowledged before the loss
+	Cause error  // the underlying transport failure
+}
+
+func (e *NodeLostError) Error() string {
+	return fmt.Sprintf("fleet: node %q lost after %d acked frame(s): %v", e.Node, e.Acked, e.Cause)
+}
+
+func (e *NodeLostError) Is(target error) bool { return target == ErrNodeLost }
+
+func (e *NodeLostError) Unwrap() error { return e.Cause }
+
+// StreamOptions arms and tunes a stream's fault tolerance. The zero value
+// disables recovery entirely (Open's default): node loss then surfaces as
+// ErrNodeLost with a partial summary.
+type StreamOptions struct {
+	// CheckpointEvery > 0 enables checkpoint-replay recovery: the stream
+	// snapshots its session over the wire every CheckpointEvery
+	// acknowledged pushes and keeps the frames since in a replay buffer
+	// (bounded by the same number). Smaller values bound replay work and
+	// buffer memory tighter; larger values take fewer snapshots.
+	CheckpointEvery int
+	// RecoverAttempts bounds the re-placement attempts per failure
+	// (default 4).
+	RecoverAttempts int
+	// BackoffBase is the delay before the second attempt, doubling each
+	// attempt after that — a pure function of the attempt index, so the
+	// schedule is deterministic (default 5ms).
+	BackoffBase time.Duration
+	// Sleep, if non-nil, replaces time.Sleep for the backoff delays (tests
+	// inject a counter to assert the schedule without waiting it out).
+	Sleep func(time.Duration)
+}
+
+const (
+	defaultRecoverAttempts = 4
+	defaultBackoffBase     = 5 * time.Millisecond
+)
+
+// isNodeLoss classifies a request failure: true means the transport to the
+// node failed (died mid-conversation, refused the dial, truncated or
+// corrupted a frame) — the cases checkpoint-replay recovery exists for.
+// False means the node is alive and answered: placement bounces
+// (ErrAdmission, ErrDraining) and remote application errors (remoteError)
+// must never trigger a re-place, because the same request would fail the
+// same way anywhere.
+func isNodeLoss(err error) bool {
+	if err == nil {
+		return false
+	}
+	var re *remoteError
+	if errors.As(err, &re) {
+		return false
+	}
+	return !errors.Is(err, ErrAdmission) && !errors.Is(err, ErrDraining)
+}
+
+func (s *Stream) recoveryEnabled() bool { return s.opts.CheckpointEvery > 0 }
+
+// closedErr explains an operation on a detached stream: "after Close" for a
+// clean close, the sticky loss otherwise.
+func (s *Stream) closedErr(op string) error {
+	if s.lost != nil {
+		return fmt.Errorf("fleet: stream %q: %s: %w", s.name, op, s.lost)
+	}
+	return fmt.Errorf("fleet: stream %q: %s after Close", s.name, op)
+}
+
+// asNodeLost wraps a transport failure as a NodeLostError unless it already
+// is one (recovery exhaustion wraps the original loss itself).
+func (s *Stream) asNodeLost(err error, node string) error {
+	if errors.Is(err, ErrNodeLost) {
+		return err
+	}
+	return &NodeLostError{Node: node, Acked: s.pushed, Cause: err}
+}
+
+// bufferFrame retains one encoded frame for replay. Deliberately outside the
+// Push hot path proper: the copy allocates until the buffer's slots reach
+// their high-water marks, which is the price of recovery, paid only when it
+// is armed.
+func (s *Stream) bufferFrame(b []byte) {
+	if n := len(s.replay); cap(s.replay) > n {
+		// Reuse a cleared slot's backing array before growing anything.
+		slot := s.replay[:n+1][n]
+		s.replay = append(s.replay, append(slot[:0], b...))
+		return
+	}
+	s.replay = append(s.replay, append([]byte(nil), b...))
+}
+
+// dropLastBuffered removes the in-flight frame from the replay buffer after
+// a push the node rejected without dying — the frame was never acknowledged
+// and must not be replayed later.
+func (s *Stream) dropLastBuffered() {
+	if n := len(s.replay); n > 0 {
+		s.replay = s.replay[:n-1]
+	}
+}
+
+// setCheckpoint adopts snapshot bytes taken at `frames` processed frames and
+// clears the replay buffer they supersede.
+func (s *Stream) setCheckpoint(snap []byte, frames int) {
+	s.checkpoint = append(s.checkpoint[:0], snap...)
+	s.checkpointFrames = frames
+	s.replay = s.replay[:0]
+}
+
+// pushFailed handles a failed push round trip; nil means recovery replayed
+// the frame onto a new node and the push counts as acknowledged.
+func (s *Stream) pushFailed(err error) error {
+	if !isNodeLoss(err) {
+		if s.recoveryEnabled() {
+			s.dropLastBuffered()
+		}
+		return fmt.Errorf("fleet: stream %q: push: %w", s.name, err)
+	}
+	node := s.node.name
+	if !s.recoveryEnabled() {
+		s.teardown()
+		s.lost = s.asNodeLost(err, node)
+		return fmt.Errorf("fleet: stream %q: push: %w", s.name, s.lost)
+	}
+	if rerr := s.recover(err); rerr != nil {
+		return fmt.Errorf("fleet: stream %q: push: %w", s.name, rerr)
+	}
+	return nil
+}
+
+// migrateFailed handles a failed graceful migration; nil means recovery
+// rebuilt the stream from its checkpoint instead.
+func (s *Stream) migrateFailed(err error) error {
+	node := s.node.name
+	if isNodeLoss(err) && s.recoveryEnabled() {
+		if rerr := s.recover(err); rerr != nil {
+			return fmt.Errorf("fleet: stream %q: migrate off %q: %w", s.name, node, rerr)
+		}
+		return nil
+	}
+	if isNodeLoss(err) {
+		s.lost = s.asNodeLost(err, node)
+		return fmt.Errorf("fleet: stream %q: migrate off %q: %w", s.name, node, s.lost)
+	}
+	return fmt.Errorf("fleet: stream %q: migrate off %q: %w", s.name, node, err)
+}
+
+// maybeCheckpoint snapshots the session over the wire once enough pushes
+// have been acknowledged since the last checkpoint. The replay buffer is
+// cleared only after the snapshot bytes are safely in hand, so a node death
+// *during* the snapshot loses nothing: recovery falls back to the previous
+// checkpoint (or a fresh open) plus the intact buffer.
+func (s *Stream) maybeCheckpoint() error {
+	if s.pushed-s.checkpointFrames < s.opts.CheckpointEvery {
+		return nil
+	}
+	rv, payload, err := s.w.roundTrip(vSnapshot, nil)
+	if err != nil {
+		if !isNodeLoss(err) {
+			return fmt.Errorf("fleet: stream %q: checkpoint: %w", s.name, err)
+		}
+		if rerr := s.recover(err); rerr != nil {
+			return fmt.Errorf("fleet: stream %q: checkpoint: %w", s.name, rerr)
+		}
+		rv, payload, err = s.w.roundTrip(vSnapshot, nil)
+		if err != nil {
+			return fmt.Errorf("fleet: stream %q: checkpoint after recovery: %w", s.name, err)
+		}
+	}
+	if rv != vSnapData {
+		return fmt.Errorf("fleet: stream %q: checkpoint reply verb %s", s.name, rv)
+	}
+	s.setCheckpoint(payload, s.pushed)
+	return nil
+}
+
+// recover re-places the stream after node loss: bounded attempts, each one
+// walking the placement candidate order (restore checkpoint or open fresh,
+// then replay), with deterministic backoff between attempts for transient
+// no-peer failures. On success the stream is attached to its new node with
+// every buffered frame acknowledged there; on failure the stream is lost
+// for good and the sticky error is set.
+func (s *Stream) recover(cause error) error {
+	lost := s.node.name
+	s.teardown()
+	attempts := s.opts.RecoverAttempts
+	if attempts <= 0 {
+		attempts = defaultRecoverAttempts
+	}
+	base := s.opts.BackoffBase
+	if base <= 0 {
+		base = defaultBackoffBase
+	}
+	sleep := s.opts.Sleep
+	if sleep == nil {
+		sleep = time.Sleep
+	}
+	last := cause
+	for attempt := 0; attempt < attempts; attempt++ {
+		if attempt > 0 {
+			sleep(base << (attempt - 1))
+		}
+		err := s.tryRecover()
+		if err == nil {
+			s.recoveries++
+			s.replayed += len(s.replay)
+			s.r.mu.Lock()
+			s.r.recoveries++
+			s.r.replayedFrames += len(s.replay)
+			s.r.mu.Unlock()
+			return nil
+		}
+		last = err
+		if !errors.Is(err, ErrNoPeer) {
+			// Fatal: no amount of retrying fixes a continuity mismatch or a
+			// remote application error.
+			s.lost = s.asNodeLost(err, lost)
+			return s.lost
+		}
+	}
+	s.lost = &NodeLostError{
+		Node: lost, Acked: s.pushed,
+		Cause: fmt.Errorf("%w after %d attempt(s): %w", ErrRecoveryExhausted, attempts, last),
+	}
+	return s.lost
+}
+
+// tryRecover is one re-placement attempt: poll reachable loads, walk the
+// candidate order, attach to the first peer that takes the stream.
+func (s *Stream) tryRecover() error {
+	nodes, loads, err := s.r.reachableLoads()
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrNoPeer, err)
+	}
+	order := Candidates(s.sizeW, s.sizeH, loads)
+	if len(order) == 0 {
+		return fmt.Errorf("%w: every reachable node is draining", ErrNoPeer)
+	}
+	var lastErr error
+	for _, idx := range order {
+		w, err := s.attachTo(nodes[idx].addr)
+		if err == nil {
+			s.w, s.node = w, nodes[idx]
+			return nil
+		}
+		switch {
+		case isPlacementBounce(err):
+			lastErr = err
+		case errors.Is(err, errRecoveryFatal):
+			return err
+		case isNodeLoss(err):
+			nodes[idx].markUnreachable()
+			lastErr = err
+		default:
+			return err // remote application error: identical anywhere
+		}
+	}
+	return fmt.Errorf("%w: every candidate refused or was unreachable: %w", ErrNoPeer, lastErr)
+}
+
+// attachTo rebuilds the stream's session on one candidate node: restore the
+// checkpoint (or open fresh when none exists yet), verify frame-count
+// continuity, then replay the buffered frames in push order. Any failure
+// leaves no connection behind.
+func (s *Stream) attachTo(addr string) (*wire, error) {
+	var w *wire
+	if s.checkpoint != nil {
+		var frames int
+		var err error
+		w, frames, err = restoreOn(addr, encodeRestore(nil, s.name, s.checkpoint))
+		if err != nil {
+			return nil, err
+		}
+		if frames != s.checkpointFrames {
+			// The restored system disagrees about where the checkpoint
+			// stands; replaying from here would corrupt the output.
+			w.roundTrip(vClose, nil)
+			w.Close()
+			return nil, fmt.Errorf("%w: restore continuity check failed on %s: node at frame %d, checkpoint at %d",
+				errRecoveryFatal, addr, frames, s.checkpointFrames)
+		}
+	} else {
+		var err error
+		w, err = openOn(addr, s.openPayload)
+		if err != nil {
+			return nil, err
+		}
+	}
+	for i, fb := range s.replay {
+		rv, _, err := w.roundTrip(vPush, fb)
+		if err == nil && rv != vOK {
+			err = fmt.Errorf("reply verb %s", rv)
+		}
+		if err != nil {
+			w.Close()
+			return nil, fmt.Errorf("replay frame %d/%d: %w", i+1, len(s.replay), err)
+		}
+	}
+	return w, nil
+}

@@ -23,10 +23,14 @@ type Router struct {
 	nodes []*routerNode
 
 	// Placement accounting for the serving report: how many streams landed
-	// on their first-choice candidate, and how many migrated mid-stream.
-	placements  int
-	primaryHits int
-	migrations  int
+	// on their first-choice candidate, how many migrated mid-stream, and how
+	// many recovered from unclean node loss (with the frames replayed to do
+	// it).
+	placements     int
+	primaryHits    int
+	migrations     int
+	recoveries     int
+	replayedFrames int
 }
 
 // routerNode is the router's handle on one fleet node: its dial address and
@@ -36,9 +40,10 @@ type routerNode struct {
 	name string
 	addr string
 
-	mu       sync.Mutex
-	ctrl     *wire
-	draining bool
+	mu          sync.Mutex
+	ctrl        *wire
+	draining    bool
+	unreachable bool // evicted from placement until CheckHealth re-admits it
 }
 
 // NewRouter returns an empty router; AddNode it onto the fleet.
@@ -101,19 +106,49 @@ func statsOver(w *wire) (NodeStats, error) {
 	return decodeStats(payload)
 }
 
-// stats polls one node's control connection.
+// pingOver sends one liveness probe over an exclusively owned wire.
+func pingOver(w *wire) error {
+	rv, _, err := w.roundTrip(vPing, nil)
+	if err != nil {
+		return err
+	}
+	if rv != vOK {
+		return fmt.Errorf("fleet: ping reply verb %s", rv)
+	}
+	return nil
+}
+
+// stats polls one node's control connection. A transport failure evicts the
+// node — the router stops trusting it for placement until a CheckHealth
+// probe re-admits it — so one dead node can never wedge every caller that
+// polls loads.
 func (n *routerNode) stats() (NodeStats, error) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	if n.ctrl == nil {
-		return NodeStats{}, fmt.Errorf("fleet: node %q: control connection closed", n.name)
+	if n.unreachable || n.ctrl == nil {
+		return NodeStats{}, fmt.Errorf("fleet: node %q: evicted (unreachable)", n.name)
 	}
 	st, err := statsOver(n.ctrl)
 	if err != nil {
+		n.ctrl.Close()
+		n.ctrl = nil
+		n.unreachable = true
 		return NodeStats{}, fmt.Errorf("fleet: node %q stats: %w", n.name, err)
 	}
 	n.draining = st.Draining
 	return st, nil
+}
+
+// markUnreachable evicts the node from placement (its control connection is
+// dropped so the next health probe redials from scratch).
+func (n *routerNode) markUnreachable() {
+	n.mu.Lock()
+	if n.ctrl != nil {
+		n.ctrl.Close()
+		n.ctrl = nil
+	}
+	n.unreachable = true
+	n.mu.Unlock()
 }
 
 // Stats polls every node's self-report, in registration order.
@@ -136,17 +171,26 @@ func (r *Router) Stats() ([]NodeStats, error) {
 type RouterMetrics struct {
 	// Placements counts successfully opened streams; PrimaryHits counts the
 	// ones that landed on their first-choice candidate (the placement
-	// hit-rate numerator). Migrations counts mid-stream node moves.
+	// hit-rate numerator). Migrations counts graceful mid-stream node moves.
 	Placements  int
 	PrimaryHits int
 	Migrations  int
+	// Recoveries counts checkpoint-replay recoveries after unclean node
+	// loss; ReplayedFrames totals the frames replayed during them.
+	Recoveries     int
+	ReplayedFrames int
 }
 
 // Metrics snapshots the router's placement accounting.
 func (r *Router) Metrics() RouterMetrics {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	return RouterMetrics{Placements: r.placements, PrimaryHits: r.primaryHits, Migrations: r.migrations}
+	return RouterMetrics{
+		Placements:  r.placements,
+		PrimaryHits: r.primaryHits,
+		Migrations:  r.migrations,
+		Recoveries:  r.recoveries, ReplayedFrames: r.replayedFrames,
+	}
 }
 
 // Drain gracefully drains the named node: the node stops admitting streams,
@@ -182,31 +226,47 @@ func (r *Router) Drain(name string) error {
 	return nil
 }
 
-// snapshotLoads polls all nodes and returns their placement views plus the
-// node handles in matching order.
-func (r *Router) snapshotLoads() ([]*routerNode, []NodeLoad, error) {
+// reachableLoads polls every non-evicted node and returns the reachable
+// ones' placement views plus the node handles in matching order. A node
+// whose poll fails is evicted from placement (re-admitted by CheckHealth)
+// rather than failing the caller — a dead node must not take the whole
+// fleet's placement machinery down with it. It errors only when no node is
+// reachable at all.
+func (r *Router) reachableLoads() ([]*routerNode, []NodeLoad, error) {
 	r.mu.Lock()
 	nodes := append([]*routerNode(nil), r.nodes...)
 	r.mu.Unlock()
 	if len(nodes) == 0 {
 		return nil, nil, fmt.Errorf("fleet: router has no nodes")
 	}
-	loads := make([]NodeLoad, len(nodes))
-	for i, n := range nodes {
+	live := make([]*routerNode, 0, len(nodes))
+	loads := make([]NodeLoad, 0, len(nodes))
+	for _, n := range nodes {
 		st, err := n.stats()
 		if err != nil {
-			return nil, nil, err
+			continue // evicted by stats; a health probe can bring it back
 		}
-		loads[i] = loadOf(st)
+		live = append(live, n)
+		loads = append(loads, loadOf(st))
 	}
-	return nodes, loads, nil
+	if len(live) == 0 {
+		return nil, nil, fmt.Errorf("fleet: no reachable nodes (all evicted)")
+	}
+	return live, loads, nil
 }
 
-// Open places a new stream: candidates in placement order, opened on the
-// first node that admits it. The stream's size class is the intrinsics' W x H
-// — the same key the node-side render-context pools bucket by.
+// Open places a new stream with default options: no checkpoint-replay
+// recovery, so an unclean node death surfaces as ErrNodeLost.
 func (r *Router) Open(name string, cfg slam.Config, intr camera.Intrinsics) (*Stream, error) {
-	nodes, loads, err := r.snapshotLoads()
+	return r.OpenWith(name, cfg, intr, StreamOptions{})
+}
+
+// OpenWith places a new stream: candidates in placement order, opened on the
+// first node that admits it. The stream's size class is the intrinsics' W x H
+// — the same key the node-side render-context pools bucket by. A non-zero
+// opts.CheckpointEvery arms checkpoint-replay recovery (see StreamOptions).
+func (r *Router) OpenWith(name string, cfg slam.Config, intr camera.Intrinsics, opts StreamOptions) (*Stream, error) {
+	nodes, loads, err := r.reachableLoads()
 	if err != nil {
 		return nil, err
 	}
@@ -225,6 +285,13 @@ func (r *Router) Open(name string, cfg slam.Config, intr camera.Intrinsics) (*St
 				lastErr = err
 				continue
 			}
+			if isNodeLoss(err) {
+				// The node died between the load poll and the dial; evict it
+				// and keep walking the candidate order.
+				nodes[idx].markUnreachable()
+				lastErr = err
+				continue
+			}
 			return nil, fmt.Errorf("fleet: open %q on %q: %w", name, nodes[idx].name, err)
 		}
 		r.mu.Lock()
@@ -233,7 +300,11 @@ func (r *Router) Open(name string, cfg slam.Config, intr camera.Intrinsics) (*St
 			r.primaryHits++
 		}
 		r.mu.Unlock()
-		return &Stream{r: r, name: name, w: w, node: nodes[idx], sizeW: intr.W, sizeH: intr.H}, nil
+		return &Stream{
+			r: r, name: name, w: w, node: nodes[idx],
+			sizeW: intr.W, sizeH: intr.H,
+			opts: opts, openPayload: payload,
+		}, nil
 	}
 	return nil, fmt.Errorf("fleet: open %q: every candidate refused: %w", name, lastErr)
 }
@@ -275,10 +346,21 @@ type Stream struct {
 	node *routerNode
 
 	sizeW, sizeH int
-	pushed       int
+	pushed       int // frames acknowledged by a serving node
 	migrations   int
 
 	frameBuf []byte // per-push encode scratch, reused across frames
+
+	// Checkpoint-replay recovery state (see recover.go). Inert when
+	// opts.CheckpointEvery == 0.
+	opts             StreamOptions
+	openPayload      []byte   // retained for fresh-open recovery before the first checkpoint
+	checkpoint       []byte   // last AGSSNAP taken over the wire; nil before the first
+	checkpointFrames int      // frames the checkpoint has processed
+	replay           [][]byte // encoded frames acked since the checkpoint, push order
+	recoveries       int
+	replayed         int
+	lost             error // sticky NodeLostError once the stream is lost for good
 }
 
 // Name returns the stream's label.
@@ -287,54 +369,95 @@ func (s *Stream) Name() string { return s.name }
 // Node returns the name of the node currently serving the stream.
 func (s *Stream) Node() string { return s.node.name }
 
-// Migrations returns how many times the stream has moved nodes.
+// Migrations returns how many times the stream has moved nodes gracefully.
 func (s *Stream) Migrations() int { return s.migrations }
+
+// Recoveries returns how many times the stream recovered from unclean node
+// loss; Replayed totals the frames re-pushed during those recoveries.
+func (s *Stream) Recoveries() int { return s.recoveries }
+
+// Replayed returns the total frames replayed across the stream's recoveries.
+func (s *Stream) Replayed() int { return s.replayed }
 
 // Push sends the next frame in stream order. If the serving node has been
 // marked draining since the last push, the stream first migrates — snapshot,
-// restore on a peer, verified frame count — and then pushes there.
+// restore on a peer, verified frame count — and then pushes there. With
+// recovery armed (StreamOptions.CheckpointEvery > 0), an unclean node death
+// is survived transparently: the stream re-places itself, restores its last
+// checkpoint, replays the frames pushed since — this one included — and the
+// final digest is bit-identical to an undisturbed run.
 //
 //ags:hotpath
 func (s *Stream) Push(f *frame.Frame) error {
 	if s.w == nil {
-		return fmt.Errorf("fleet: stream %q: push after Close", s.name)
+		return s.closedErr("push")
 	}
 	if s.node.isDraining() {
 		if err := s.migrate(); err != nil {
-			return fmt.Errorf("fleet: stream %q: migrate off %q: %w", s.name, s.node.name, err)
+			if err = s.migrateFailed(err); err != nil {
+				return err
+			}
 		}
 	}
 	s.frameBuf = slam.AppendFrame(s.frameBuf[:0], f)
+	if s.opts.CheckpointEvery > 0 {
+		s.bufferFrame(s.frameBuf)
+	}
 	rv, _, err := s.w.roundTrip(vPush, s.frameBuf)
 	if err != nil {
-		return fmt.Errorf("fleet: stream %q: push: %w", s.name, err)
-	}
-	if rv != vOK {
+		// recover replays every buffered frame — the failed one included —
+		// so a nil return means this frame is acked on the new node.
+		if err = s.pushFailed(err); err != nil {
+			return err
+		}
+	} else if rv != vOK {
 		return fmt.Errorf("fleet: stream %q: push reply verb %s", s.name, rv)
 	}
 	s.pushed++
+	if s.opts.CheckpointEvery > 0 {
+		return s.maybeCheckpoint()
+	}
 	return nil
 }
 
 // Close ends the stream and returns the node-side session's summary; its
 // Digest is bit-identical to a sequential slam.Run over the same frames.
+// If the serving node is lost at close time (or was lost earlier with
+// recovery disabled), the error wraps ErrNodeLost and the summary is
+// partial: only Frames — the acknowledged-frame count — is meaningful.
 func (s *Stream) Close() (ResultSummary, error) {
 	if s.w == nil {
+		if s.lost != nil {
+			return ResultSummary{Frames: s.pushed}, fmt.Errorf("fleet: stream %q: close: %w", s.name, s.lost)
+		}
 		return ResultSummary{}, fmt.Errorf("fleet: stream %q: already closed", s.name)
 	}
-	w := s.w
-	s.w = nil
-	defer w.Close()
-	rv, payload, err := w.roundTrip(vClose, nil)
+	node := s.node.name
+	rv, payload, err := s.w.roundTrip(vClose, nil)
+	if err != nil && isNodeLoss(err) && s.recoveryEnabled() {
+		if rerr := s.recover(err); rerr != nil {
+			err = rerr
+		} else {
+			node = s.node.name
+			rv, payload, err = s.w.roundTrip(vClose, nil)
+		}
+	}
 	if err != nil {
+		s.teardown()
+		if isNodeLoss(err) {
+			s.lost = s.asNodeLost(err, node)
+			return ResultSummary{Frames: s.pushed}, fmt.Errorf("fleet: stream %q: close: %w", s.name, s.lost)
+		}
 		return ResultSummary{}, fmt.Errorf("fleet: stream %q: close: %w", s.name, err)
 	}
 	if rv != vResult {
+		s.teardown()
 		return ResultSummary{}, fmt.Errorf("fleet: stream %q: close reply verb %s", s.name, rv)
 	}
-	sum, err := decodeResult(payload)
-	if err != nil {
-		return ResultSummary{}, fmt.Errorf("fleet: stream %q: %w", s.name, err)
+	sum, derr := decodeResult(payload)
+	s.teardown()
+	if derr != nil {
+		return ResultSummary{}, fmt.Errorf("fleet: stream %q: %w", s.name, derr)
 	}
 	return sum, nil
 }
@@ -343,4 +466,77 @@ func (n *routerNode) isDraining() bool {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	return n.draining
+}
+
+// NodeHealth is one node's outcome from Router.CheckHealth.
+type NodeHealth struct {
+	Name string
+	Addr string
+	// Reachable: the node answered this probe's PING (over the existing
+	// control connection, or over a fresh redial).
+	Reachable bool
+	// Draining mirrors the node's drain state as last reported.
+	Draining bool
+	// Evicted: the node is out of the placement ring after this probe.
+	Evicted bool
+	// Readmitted: this probe brought a previously evicted node back.
+	Readmitted bool
+}
+
+// CheckHealth probes every node with the PING verb, in registration order:
+// an unresponsive node is evicted from the placement ring (streams it was
+// serving recover via checkpoint-replay at their next push), and an evicted
+// node that answers a fresh redial is re-admitted. Probing is caller-driven
+// — the router runs no background goroutines and reads no clock — so health
+// policy (when and how often to probe) stays with the caller and tests stay
+// deterministic.
+func (r *Router) CheckHealth() []NodeHealth {
+	r.mu.Lock()
+	nodes := append([]*routerNode(nil), r.nodes...)
+	r.mu.Unlock()
+	out := make([]NodeHealth, len(nodes))
+	for i, n := range nodes {
+		out[i] = n.probe()
+	}
+	return out
+}
+
+// probe pings one node, redialing its control connection if it is missing
+// (evicted earlier, or the live one just failed the ping).
+func (n *routerNode) probe() NodeHealth {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	h := NodeHealth{Name: n.name, Addr: n.addr}
+	wasEvicted := n.unreachable
+	if n.ctrl != nil {
+		if err := pingOver(n.ctrl); err == nil {
+			n.unreachable = false
+			h.Reachable, h.Draining = true, n.draining
+			return h
+		}
+		n.ctrl.Close()
+		n.ctrl = nil
+	}
+	ctrl, err := dialWire(n.addr)
+	if err == nil {
+		// Ping end to end, then refresh identity and drain state: a node
+		// that came back on the same address may be a different process.
+		st, serr := statsOver(ctrl)
+		if perr := pingOver(ctrl); perr != nil {
+			serr = perr
+		}
+		if serr == nil {
+			n.ctrl = ctrl
+			n.unreachable = false
+			n.name, n.draining = st.Name, st.Draining
+			h.Name = st.Name
+			h.Reachable, h.Draining = true, st.Draining
+			h.Readmitted = wasEvicted
+			return h
+		}
+		ctrl.Close()
+	}
+	n.unreachable = true
+	h.Evicted = true
+	return h
 }

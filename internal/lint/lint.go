@@ -117,7 +117,7 @@ func DefaultGoroutineSites(module string) map[string]bool {
 		module + "/internal/slam.(*System).Prefetch":            true, // single ME job, consumed by identity match
 		module + "/internal/scene.(*World).RenderFrame":         true, // per-row ray tracing, disjoint pixel writes
 		module + "/internal/bench.RunBatch":                     true, // bounded warm pool, render in plan order
-		module + "/internal/fleet.(*Node).Start":                true, // single accept-loop goroutine, joined by Close
+		module + "/internal/fleet.(*Node).StartOn":              true, // single accept-loop goroutine (Start delegates here), joined by Close
 		module + "/internal/fleet.(*Node).Serve":                true, // one handler per connection; each session's frames arrive in push order on its own connection
 	}
 }
