@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet fmt lint bench verify determinism bench-batch profile serve-demo compact-demo fleet-demo chaos-demo
+.PHONY: build test race vet fmt lint bench verify determinism bench-batch profile serve-demo compact-demo fleet-demo chaos-demo grid-demo
 
 build:
 	$(GO) build ./...
@@ -51,9 +51,11 @@ determinism:
 # through the warm/render scheduler at two jobs, emitting the
 # machine-readable report (CI uploads bench.json so the perf trajectory is
 # recorded). table1 rides along because perf-me alone is dataset-only and
-# would leave the report's per-run wall-time section empty.
+# would leave the report's per-run wall-time section empty. perf-grid boots
+# its own 2-worker loopback grid and gates digest-verified distributed
+# execution plus retry over a killed worker.
 bench-batch:
-	$(GO) run ./cmd/ags-bench -exp perf-me,perf-render,perf-serve,perf-compact,perf-fleet,perf-chaos,table1 -jobs 2 -json bench.json -q
+	$(GO) run ./cmd/ags-bench -exp perf-me,perf-render,perf-serve,perf-compact,perf-fleet,perf-chaos,perf-grid,table1 -jobs 2 -json bench.json -q
 
 # Streaming-server demo: two concurrent camera streams through one
 # slam.Server under the race detector — the quickest end-to-end check that
@@ -87,6 +89,15 @@ fleet-demo:
 # while the node's connection handlers unwind.
 chaos-demo:
 	$(GO) run -race ./examples/fleet_recover
+
+# Distributed-bench demo: table1's warm phase over a 2-worker loopback grid,
+# coordinator and workers in one race-checked process. Asserts (exit non-zero
+# otherwise) that the distributed batch renders byte-identical text to a
+# local -jobs run, that every worker ran at least one digest-verified job,
+# and that a worker killed uncleanly mid job reply only costs a retry on the
+# survivor — same bytes, exactly one eviction.
+grid-demo:
+	$(GO) run -race ./examples/grid_bench
 
 # Profile the splat hot path: runs the perf-render experiment under pprof so
 # perf PRs can attach flame-graph evidence instead of eyeballing wall times.

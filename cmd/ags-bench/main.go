@@ -17,6 +17,14 @@
 //	ags-bench -json bench.json # machine-readable per-run wall-time report
 //	ags-bench -frames 32 -w 96 -h 72   # override individual knobs
 //	ags-bench -exp perf-render -cpuprofile cpu.pprof -memprofile mem.pprof
+//	ags-bench -grid 127.0.0.1:7070,127.0.0.1:7071   # distribute the warm
+//	                           # phase over ags-fleet serve worker nodes
+//
+// With -grid, pipeline executions ship to the listed workers as grid jobs
+// (see internal/grid): each worker regenerates the dataset deterministically,
+// runs the pipeline, and returns a digest-verified snapshot. stdout stays
+// byte-identical to local execution; per-run worker attribution and wire
+// bytes land in the -json report.
 package main
 
 import (
@@ -30,6 +38,7 @@ import (
 	"time"
 
 	"ags/internal/bench"
+	"ags/internal/grid"
 )
 
 func main() {
@@ -44,6 +53,10 @@ func main() {
 		jobs    = flag.Int("jobs", 0, "concurrent pipeline executions in the batch scheduler (0 = all cores; output is byte-identical for every value)")
 		jsonOut = flag.String("json", "", "write a machine-readable report (per-run wall times) to this path")
 		quiet   = flag.Bool("q", false, "suppress progress lines (stderr)")
+
+		gridAddrs  = flag.String("grid", "", "comma-separated worker node addresses: distribute pipeline executions over the fleet (see ags-fleet serve)")
+		gridWindow = flag.Int("grid-window", 0, "in-flight jobs per grid worker (0 = default)")
+		gridSample = flag.Int("grid-sample", 0, "locally replay every Nth remote grid result (0 = default)")
 
 		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile of the whole batch to this path")
 		memProfile = flag.String("memprofile", "", "write a pprof heap profile (after the batch) to this path")
@@ -126,7 +139,29 @@ func main() {
 	}
 	start := time.Now()
 
-	report, err := bench.RunBatch(suite, exps, *jobs, os.Stdout)
+	var exec bench.Executor
+	if *gridAddrs != "" {
+		var addrs []string
+		for _, a := range strings.Split(*gridAddrs, ",") {
+			if a = strings.TrimSpace(a); a != "" {
+				addrs = append(addrs, a)
+			}
+		}
+		sch, err := grid.New(grid.Config{Workers: addrs, Window: *gridWindow, SampleEvery: *gridSample})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ags-bench: %v\n", err)
+			os.Exit(1)
+		}
+		defer sch.Close()
+		exec = sch
+		if *jobs == 0 {
+			// Local batches default to GOMAXPROCS; a grid batch's natural
+			// parallelism is the grid's total in-flight window instead.
+			*jobs = sch.Capacity()
+		}
+	}
+
+	report, err := bench.RunBatchWith(suite, exps, *jobs, exec, os.Stdout)
 	stopCPUProfile()
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "ags-bench: %v\n", err)

@@ -1,7 +1,8 @@
 // Command ags-fleet runs the distributed serving layer: a node (one
 // slam.Server behind a TCP listener) or a router driving live streams across
 // a fleet of nodes, with placement, admission control and mid-stream
-// migration.
+// migration. Every node also answers grid job frames (digest-verified bench
+// executions shipped by ags-bench -grid; see internal/grid).
 //
 // Usage:
 //
@@ -39,6 +40,7 @@ import (
 
 	"ags/internal/fleet"
 	"ags/internal/fleet/chaos"
+	"ags/internal/grid"
 	"ags/internal/scene"
 	"ags/internal/slam"
 )
@@ -95,6 +97,7 @@ func serveCmd(args []string) error {
 		Server:           slam.ServerConfig{ContextCapacity: *poolCap, QueueDepth: *queueDepth},
 		MaxSessions:      *maxSessions,
 		MaxResidentBytes: *maxResident,
+		Jobs:             grid.NewWorker(),
 	})
 	var bound string
 	var err error

@@ -23,11 +23,11 @@ package bench
 import (
 	"fmt"
 	"io"
-	"maps"
 	"sync"
 	"time"
 
 	"ags/internal/camera"
+	"ags/internal/grid"
 	"ags/internal/mapper"
 	"ags/internal/metrics"
 	"ags/internal/scene"
@@ -143,6 +143,26 @@ type flight struct {
 	err  error
 }
 
+// Executor runs one resolved spec somewhere other than this process. The grid
+// scheduler is the one real implementation; a nil Executor means local
+// execution via slam.Run. The suite hands the executor a fully resolved
+// grid.Job (variant and override already applied — RunSpec overrides are
+// functions and cannot cross a wire) plus its own copy of the dataset for
+// sampled replay verification.
+type Executor interface {
+	ExecuteSpec(job grid.Job, seq *scene.Sequence) (*slam.Result, grid.ExecInfo, error)
+}
+
+// execRecord attributes one pipeline execution: how long it took, which
+// worker ran it ("local" for in-process runs), and — for remote runs — bytes
+// over the wire and whether a sampled local replay confirmed it.
+type execRecord struct {
+	dur      time.Duration
+	worker   string
+	wire     int64
+	verified bool
+}
+
 // Suite owns the run cache. Experiment text goes to the writer passed to
 // Render/RunBatch; the suite itself only writes progress lines to Log.
 type Suite struct {
@@ -155,7 +175,7 @@ type Suite struct {
 	mu    sync.Mutex
 	seqs  map[string]*flight
 	runs  map[string]*flight
-	times map[string]time.Duration
+	execs map[string]execRecord
 	logMu sync.Mutex
 }
 
@@ -165,7 +185,7 @@ func NewSuite(cfg Config) *Suite {
 		Cfg:   cfg,
 		seqs:  make(map[string]*flight),
 		runs:  make(map[string]*flight),
-		times: make(map[string]time.Duration),
+		execs: make(map[string]execRecord),
 	}
 }
 
@@ -203,13 +223,20 @@ func (s *Suite) doOnce(m map[string]*flight, id string, fn func() (any, error)) 
 	return f.val, f.err
 }
 
+// sceneConfig is the dataset recipe every suite sequence is generated from.
+// Grid jobs ship this exact recipe, so workers regenerate frames
+// bit-identical to the coordinator's own copy.
+func (s *Suite) sceneConfig() scene.Config {
+	return scene.Config{
+		Width: s.Cfg.Width, Height: s.Cfg.Height, Frames: s.Cfg.Frames, Seed: s.Cfg.Seed,
+	}
+}
+
 // sequence returns (generating on first use) the named dataset. Generation
 // is singleflighted: concurrent callers share one build.
 func (s *Suite) sequence(name string) (*scene.Sequence, error) {
 	v, err := s.doOnce(s.seqs, name, func() (any, error) {
-		return scene.Generate(name, scene.Config{
-			Width: s.Cfg.Width, Height: s.Cfg.Height, Frames: s.Cfg.Frames, Seed: s.Cfg.Seed,
-		})
+		return scene.Generate(name, s.sceneConfig())
 	})
 	if err != nil {
 		return nil, err
@@ -261,10 +288,16 @@ func (s *Suite) slamConfig(v Variant, override func(*slam.Config)) slam.Config {
 	return cfg
 }
 
-// Run returns the cached bundle for the spec, executing the pipeline on
-// first use. Concurrent callers of one spec share a single execution
+// Run returns the cached bundle for the spec, executing the pipeline locally
+// on first use. Concurrent callers of one spec share a single execution
 // (singleflight), so the batch scheduler and direct calls can overlap freely.
-func (s *Suite) Run(spec RunSpec) (*Bundle, error) {
+func (s *Suite) Run(spec RunSpec) (*Bundle, error) { return s.runVia(nil, spec) }
+
+// runVia is Run with an execution venue: nil runs the pipeline in-process,
+// a non-nil Executor ships the resolved job out (the grid path). Both venues
+// share one cache — whichever materializes a spec first wins, and the
+// determinism contract makes the cached bundle identical either way.
+func (s *Suite) runVia(x Executor, spec RunSpec) (*Bundle, error) {
 	if spec.DatasetOnly() {
 		return nil, fmt.Errorf("bench: run %s: dataset-only spec has no pipeline", spec.ID())
 	}
@@ -280,14 +313,33 @@ func (s *Suite) Run(spec RunSpec) (*Bundle, error) {
 		if err != nil {
 			return nil, fmt.Errorf("bench: run %s: %w", id, err)
 		}
-		s.logf("# running %s ...\n", id)
 		start := wallNow()
-		res, err := slam.Run(s.slamConfig(spec.Variant, spec.Override), seq)
+		var res *slam.Result
+		rec := execRecord{worker: "local"}
+		if x == nil {
+			s.logf("# running %s ...\n", id)
+			res, err = slam.Run(s.slamConfig(spec.Variant, spec.Override), seq)
+		} else {
+			var info grid.ExecInfo
+			res, info, err = x.ExecuteSpec(grid.Job{
+				ID:    id,
+				Seq:   spec.Seq,
+				Scene: s.sceneConfig(),
+				Cfg:   s.slamConfig(spec.Variant, spec.Override),
+			}, seq)
+			rec = execRecord{worker: info.Worker, wire: info.WireBytes, verified: info.Verified}
+			if err == nil {
+				// Worker attribution is only known after placement, so the
+				// grid progress line trails the run instead of leading it.
+				s.logf("# [%s] %s done (%.1f KB over wire)\n", info.Worker, id, float64(info.WireBytes)/1024)
+			}
+		}
 		if err != nil {
 			return nil, fmt.Errorf("bench: run %s: %w", id, err)
 		}
+		rec.dur = wallSince(start)
 		s.mu.Lock()
-		s.times[id] = wallSince(start)
+		s.execs[id] = rec
 		s.mu.Unlock()
 		return &Bundle{Seq: seq, Result: res}, nil
 	})
@@ -306,14 +358,15 @@ func (s *Suite) MustRun(spec RunSpec) *Bundle {
 	return b
 }
 
-// warm materializes a spec without returning its value: the scheduler's
-// per-spec unit of work.
-func (s *Suite) warm(spec RunSpec) error {
+// warmVia materializes a spec without returning its value: the batch
+// scheduler's per-spec unit of work. Dataset-only specs always materialize
+// locally (workers regenerate their own copies from the job recipe).
+func (s *Suite) warmVia(x Executor, spec RunSpec) error {
 	if spec.DatasetOnly() {
 		_, err := s.sequence(spec.Seq)
 		return err
 	}
-	_, err := s.Run(spec)
+	_, err := s.runVia(x, spec)
 	return err
 }
 
@@ -323,7 +376,23 @@ func (s *Suite) warm(spec RunSpec) error {
 func (s *Suite) Timings() map[string]time.Duration {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return maps.Clone(s.times)
+	out := make(map[string]time.Duration, len(s.execs))
+	for id, rec := range s.execs {
+		out[id] = rec.dur
+	}
+	return out
+}
+
+// execRecords returns a copy of the per-execution attribution map, keyed by
+// RunSpec ID (the batch report reads worker names and wire bytes from it).
+func (s *Suite) execRecords() map[string]execRecord {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]execRecord, len(s.execs))
+	for id, rec := range s.execs {
+		out[id] = rec
+	}
+	return out
 }
 
 // contributionStats renders frame fi of the bundle at its estimated pose

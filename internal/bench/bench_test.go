@@ -120,8 +120,8 @@ func TestFindExperiment(t *testing.T) {
 	if _, err := Find("nope"); err == nil {
 		t.Error("unknown experiment accepted")
 	}
-	if len(Experiments()) != 29 {
-		t.Errorf("registry has %d experiments, want 29", len(Experiments()))
+	if len(Experiments()) != 30 {
+		t.Errorf("registry has %d experiments, want 30", len(Experiments()))
 	}
 }
 

@@ -1,0 +1,178 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"time"
+
+	"ags/internal/fleet"
+	"ags/internal/fleet/chaos"
+	"ags/internal/grid"
+	"ags/internal/scene"
+)
+
+func expPerfGrid() Experiment {
+	return expDef{
+		id: "perf-grid", paper: "Perf: distributed bench execution — digest-verified grid sweep, retry over a killed worker",
+		needs:  specsFor(serveSeqs(), VarAGS),
+		render: (*Suite).PerfGrid,
+	}
+}
+
+// PerfGrid is the grid subsystem's gate: the same specs the suite already ran
+// locally are re-executed on a two-worker loopback grid and every remote
+// result must hash bitwise identical to the cached local run. Row one is the
+// undisturbed sweep with least-loaded placement (each worker must run at
+// least one job, and a sampled subset must be confirmed by local replay);
+// row two hard-kills the idle worker mid-sweep — listener and connections
+// torn down via the chaos injector — and the sweep must complete on the
+// survivor through the scheduler's retry-on-node-loss re-placement, evicting
+// exactly one worker.
+func (s *Suite) PerfGrid(w io.Writer) error {
+	names := serveSeqs()
+	type ref struct {
+		seq    *scene.Sequence
+		digest [32]byte
+	}
+	refs := make([]ref, len(names))
+	for i, name := range names {
+		b, err := s.Run(Spec(name, VarAGS))
+		if err != nil {
+			return err
+		}
+		refs[i] = ref{seq: b.Seq, digest: b.Result.Digest()}
+	}
+	cfg := s.slamConfig(VarAGS, nil)
+
+	t := NewTable(fmt.Sprintf("Distributed bench: 2-worker grid (%dx%d, %d specs, window 1, sample every 2)",
+		s.Cfg.Width, s.Cfg.Height, len(names)),
+		"Scenario", "Wall ms", "Jobs", "Retries", "Evicted", "Verified", "KB wire")
+
+	scenario := func(label, mode string) error {
+		type member struct {
+			node *fleet.Node
+			inj  *chaos.Injector
+			name string
+		}
+		members := make([]member, 0, 2)
+		addrs := make([]string, 0, 2)
+		for i, name := range []string{"grid-a", "grid-b"} {
+			in := chaos.New(chaos.Config{Seed: 0x62D1 + uint64(i)})
+			ln, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				return fmt.Errorf("bench: perf-grid: %w", err)
+			}
+			n := fleet.NewNode(fleet.NodeConfig{Name: name, Jobs: grid.NewWorker()})
+			addr, err := n.StartOn(in.Listen(ln))
+			if err != nil {
+				return fmt.Errorf("bench: perf-grid: %w", err)
+			}
+			members = append(members, member{node: n, inj: in, name: name})
+			addrs = append(addrs, addr)
+		}
+		sch, err := grid.New(grid.Config{
+			Workers:     addrs,
+			Window:      1,
+			SampleEvery: 2,
+			Sleep:       func(time.Duration) {}, // deterministic backoff, no real wait
+		})
+		if err != nil {
+			return fmt.Errorf("bench: perf-grid: %w", err)
+		}
+
+		// Serial dispatch: with equal in-flight counts, placement falls back
+		// to fewest-jobs-then-declaration-order, so spec 0 lands on grid-a
+		// and spec 1's natural target is grid-b — which the kill row tears
+		// down right before dispatching it.
+		start := wallNow()
+		for i, rf := range refs {
+			if mode == "kill" && i == 1 {
+				for _, pw := range sch.Metrics().PerWorker {
+					if pw.Jobs != 0 {
+						continue
+					}
+					for _, m := range members {
+						if m.name == pw.Name {
+							m.inj.Kill()
+						}
+					}
+				}
+			}
+			job := grid.Job{
+				ID:    Spec(rf.seq.Name, VarAGS).ID(),
+				Seq:   rf.seq.Name,
+				Scene: s.sceneConfig(),
+				Cfg:   cfg,
+			}
+			res, info, err := sch.ExecuteSpec(job, rf.seq)
+			if err != nil {
+				return fmt.Errorf("bench: perf-grid: job %s (%s): %w", job.ID, label, err)
+			}
+			if res.Digest() != rf.digest {
+				return fmt.Errorf("bench: perf-grid: job %s (%s) on %s diverged from local run", job.ID, label, info.Worker)
+			}
+		}
+		wall := wallSince(start)
+
+		m := sch.Metrics()
+		if m.Jobs != len(refs) {
+			return fmt.Errorf("bench: perf-grid: %d jobs completed, want %d", m.Jobs, len(refs))
+		}
+		if m.WireBytes <= 0 {
+			return fmt.Errorf("bench: perf-grid: no bytes accounted over the wire")
+		}
+		switch mode {
+		case "steady":
+			for _, pw := range m.PerWorker {
+				if pw.Jobs < 1 {
+					return fmt.Errorf("bench: perf-grid: worker %s ran no job; placement must spread the sweep", pw.Name)
+				}
+			}
+			if m.Retries != 0 || m.Evictions != 0 {
+				return fmt.Errorf("bench: perf-grid: steady row saw %d retries, %d evictions", m.Retries, m.Evictions)
+			}
+			if m.Verified < 1 {
+				return fmt.Errorf("bench: perf-grid: no job confirmed by local replay")
+			}
+		case "kill":
+			if m.Retries < 1 {
+				return fmt.Errorf("bench: perf-grid: kill row recorded no retry")
+			}
+			if m.Evictions != 1 {
+				return fmt.Errorf("bench: perf-grid: kill row evicted %d worker(s), want exactly 1", m.Evictions)
+			}
+		}
+
+		sch.Close()
+		for _, mb := range members {
+			if mb.inj.Killed() {
+				continue // the killed node's listener and conns are already gone
+			}
+			if err := mb.node.Close(); err != nil {
+				return fmt.Errorf("bench: perf-grid: node close: %w", err)
+			}
+		}
+		t.AddRow(label,
+			fmt.Sprintf("%.1f", float64(wall.Nanoseconds())/1e6),
+			m.Jobs,
+			m.Retries,
+			m.Evictions,
+			m.Verified,
+			fmt.Sprintf("%.1f", float64(m.WireBytes)/1024))
+		return nil
+	}
+
+	if err := scenario("grid sweep, 2 workers", "steady"); err != nil {
+		return err
+	}
+	if err := scenario("kill idle worker mid-sweep", "kill"); err != nil {
+		return err
+	}
+
+	t.AddNote("every remote digest asserted bitwise identical to the cached local slam.Run; workers regenerate datasets from the shipped recipe")
+	t.AddNote("steady row gates >=1 job on every worker and >=1 sampled local-replay confirmation")
+	t.AddNote("kill row tears the idle worker down (listener + conns) before its job dispatches; the sweep must finish on the survivor with exactly one eviction")
+	t.Write(w)
+	return nil
+}

@@ -94,6 +94,7 @@ func Experiments() []Experiment {
 		expPerfCompact(),
 		expPerfFleet(),
 		expPerfChaos(),
+		expPerfGrid(),
 	}
 }
 

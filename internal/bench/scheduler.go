@@ -47,6 +47,14 @@ type RunReport struct {
 	Variant  string  `json:"variant,omitempty"`
 	Key      string  `json:"key,omitempty"`
 	WallMS   float64 `json:"wall_ms"`
+	// Worker names the executing node: "local" for in-process runs, the
+	// worker node's self-declared name for grid runs.
+	Worker string `json:"worker"`
+	// WireBytes counts bytes both directions for grid runs (0 for local).
+	WireBytes int64 `json:"wire_bytes,omitempty"`
+	// Verified marks grid runs additionally confirmed by a sampled local
+	// replay on the coordinator.
+	Verified bool `json:"verified,omitempty"`
 	// Cached marks specs the suite had already executed before this batch
 	// (their WallMS is the original execution's, not this batch's).
 	Cached bool `json:"cached,omitempty"`
@@ -70,6 +78,9 @@ type Report struct {
 	WarmMS      float64            `json:"warm_ms"`
 	RenderMS    float64            `json:"render_ms"`
 	TotalMS     float64            `json:"total_ms"`
+	// WireBytes totals bytes over the wire across this batch's grid runs
+	// (0 for all-local batches).
+	WireBytes int64 `json:"wire_bytes"`
 }
 
 // RunBatch materializes every spec the selected experiments need across a
@@ -79,6 +90,15 @@ type Report struct {
 // out receives byte-identical text for every jobs value. On a failing spec
 // the batch stops before rendering and returns the plan-order-first error.
 func RunBatch(s *Suite, exps []Experiment, jobs int, out io.Writer) (*Report, error) {
+	return RunBatchWith(s, exps, jobs, nil, out)
+}
+
+// RunBatchWith is RunBatch with an execution venue: a nil Executor warms every
+// spec in-process, a grid scheduler ships each one to a worker node. The plan,
+// the dedup, the singleflight semantics and the rendered text are identical
+// either way — only where pipelines execute changes — so out stays
+// byte-identical across jobs counts and venues.
+func RunBatchWith(s *Suite, exps []Experiment, jobs int, x Executor, out io.Writer) (*Report, error) {
 	if jobs <= 0 {
 		jobs = runtime.GOMAXPROCS(0)
 	}
@@ -102,7 +122,7 @@ func RunBatch(s *Suite, exps []Experiment, jobs int, out io.Writer) (*Report, er
 		go func(i int, spec RunSpec) {
 			defer wg.Done()
 			defer func() { <-sem }()
-			if errs[i] = s.warm(spec); errs[i] != nil {
+			if errs[i] = s.warmVia(x, spec); errs[i] != nil {
 				failed.Store(true)
 			}
 		}(i, spec)
@@ -116,20 +136,25 @@ func RunBatch(s *Suite, exps []Experiment, jobs int, out io.Writer) (*Report, er
 	warm := wallSince(start)
 
 	rep := &Report{Jobs: jobs, Specs: len(plan)}
-	times := s.Timings()
+	execs := s.execRecords()
 	for _, spec := range plan {
 		if spec.DatasetOnly() {
 			continue
 		}
 		_, cached := pre[spec.ID()]
+		rec := execs[spec.ID()]
 		rep.Runs = append(rep.Runs, RunReport{
-			ID:       spec.ID(),
-			Sequence: spec.Seq,
-			Variant:  string(spec.Variant),
-			Key:      spec.Key,
-			WallMS:   ms(times[spec.ID()]),
-			Cached:   cached,
+			ID:        spec.ID(),
+			Sequence:  spec.Seq,
+			Variant:   string(spec.Variant),
+			Key:       spec.Key,
+			WallMS:    ms(rec.dur),
+			Worker:    rec.worker,
+			WireBytes: rec.wire,
+			Verified:  rec.verified,
+			Cached:    cached,
 		})
+		rep.WireBytes += rec.wire
 	}
 
 	renderStart := wallNow()

@@ -7,6 +7,11 @@ import (
 	"io"
 	"strings"
 	"testing"
+
+	"ags/internal/fleet"
+	"ags/internal/grid"
+	"ags/internal/scene"
+	"ags/internal/slam"
 )
 
 // fakeExp builds a cheap declarative experiment around real suite runs: it
@@ -174,6 +179,117 @@ func TestBatchMultiExperimentRace(t *testing.T) {
 	}
 	if rep.Jobs != 4 || rep.Specs != 4 {
 		t.Errorf("report jobs/specs = %d/%d, want 4/4", rep.Jobs, rep.Specs)
+	}
+}
+
+// startGridWorkers boots n loopback worker nodes for grid batch tests.
+func startGridWorkers(t *testing.T, n int) []string {
+	t.Helper()
+	addrs := make([]string, n)
+	for i := range addrs {
+		node := fleet.NewNode(fleet.NodeConfig{
+			Name: fmt.Sprintf("wk-%c", 'a'+i),
+			Jobs: grid.NewWorker(),
+		})
+		addr, err := node.Start("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { node.Close() })
+		addrs[i] = addr
+	}
+	return addrs
+}
+
+// TestBatchOutputIdenticalGridVsLocal extends the byte-equality gate to the
+// grid path: the same experiments rendered from a local warm and from a
+// two-worker distributed warm must produce byte-identical text, with the
+// report attributing every run to a named worker and accounting wire bytes.
+func TestBatchOutputIdenticalGridVsLocal(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slam runs in short mode")
+	}
+	mk := func() []Experiment {
+		return []Experiment{
+			fakeExp("a", Spec("Desk", VarBaseline), Spec("Desk2", VarBaseline)),
+			fakeExp("b", Spec("Desk", VarAGS), Spec("Desk", VarBaseline)),
+			fakeExp("c", SeqSpec("Room")),
+		}
+	}
+	var local bytes.Buffer
+	if _, err := RunBatch(NewSuite(tinyCfg()), mk(), 1, &local); err != nil {
+		t.Fatal(err)
+	}
+
+	sch, err := grid.New(grid.Config{Workers: startGridWorkers(t, 2), Window: 1, SampleEvery: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sch.Close()
+	suite := NewSuite(tinyCfg())
+	var progress bytes.Buffer
+	suite.Log = &progress
+	var dist bytes.Buffer
+	rep, err := RunBatchWith(suite, mk(), 1, sch, &dist)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if local.String() != dist.String() {
+		t.Errorf("local and grid output diverged:\n--- local\n%s--- grid\n%s",
+			local.String(), dist.String())
+	}
+	byWorker := map[string]int{}
+	for _, r := range rep.Runs {
+		if r.Worker == "" || r.Worker == "local" {
+			t.Errorf("grid run %s attributed to %q, want a worker node name", r.ID, r.Worker)
+		}
+		if r.WireBytes <= 0 {
+			t.Errorf("grid run %s accounted no wire bytes", r.ID)
+		}
+		byWorker[r.Worker]++
+	}
+	for _, name := range []string{"wk-a", "wk-b"} {
+		if byWorker[name] < 1 {
+			t.Errorf("worker %s ran no spec (distribution %v)", name, byWorker)
+		}
+	}
+	if rep.WireBytes <= 0 {
+		t.Error("report total wire bytes not accounted")
+	}
+	// Progress lines carry worker attribution; experiment text (stdout) must
+	// never mention workers, or byte-identity across venues would break.
+	if !strings.Contains(progress.String(), "# [wk-") {
+		t.Errorf("progress lines lack worker prefixes:\n%s", progress.String())
+	}
+	if strings.Contains(dist.String(), "wk-") {
+		t.Errorf("experiment text leaked worker names:\n%s", dist.String())
+	}
+}
+
+// failingExec is an Executor whose every job fails remotely — the stand-in
+// for a worker that dies mid-run after the coordinator resolved the spec.
+type failingExec struct{}
+
+func (failingExec) ExecuteSpec(job grid.Job, _ *scene.Sequence) (*slam.Result, grid.ExecInfo, error) {
+	return nil, grid.ExecInfo{}, fmt.Errorf("worker melted running %s", job.ID)
+}
+
+// TestBatchGridRemoteFailurePropagates: a remote mid-run failure must surface
+// through RunBatchWith with the job's identity, stop the batch before
+// rendering, and drain the pool instead of wedging it.
+func TestBatchGridRemoteFailurePropagates(t *testing.T) {
+	exps := []Experiment{
+		fakeExp("a", Spec("Desk", VarBaseline)),
+		fakeExp("b", Spec("Desk2", VarBaseline)),
+	}
+	var buf bytes.Buffer
+	_, err := RunBatchWith(NewSuite(tinyCfg()), exps, 2, failingExec{}, &buf)
+	if err == nil || !strings.Contains(err.Error(), "worker melted running Desk/baseline/") {
+		t.Fatalf("batch error = %v, want the failing job named", err)
+	}
+	if buf.Len() != 0 {
+		t.Errorf("failing grid batch rendered output:\n%s", buf.String())
 	}
 }
 

@@ -1,0 +1,106 @@
+package fleet
+
+import (
+	"crypto/sha256"
+	"fmt"
+)
+
+// Grid job transport: the fleet side of internal/grid's distributed bench
+// execution. The fleet owns only the carriage — a vJob request ferries an
+// opaque payload to the node's registered JobRunner and the reply comes back
+// as vJobResult — while the payload encoding and the execution semantics live
+// in internal/grid. That keeps the layering honest: fleet is transport +
+// serving, grid is bench-job meaning.
+
+// JobRunner executes one grid job payload on a node and returns the reply
+// payload. internal/grid's Worker is the one real implementation; nodes built
+// without a runner answer vJob with a protocol error (the node serves streams
+// only). An error return is reported to the coordinator as a remote
+// application error — the node is alive and answered, so the scheduler must
+// not retry the job elsewhere.
+type JobRunner interface {
+	RunJob(payload []byte) ([]byte, error)
+}
+
+// handleJob ferries one grid job through the node's registered runner. The
+// reply is sent only after the run finishes, so the strict request/response
+// discipline holds: one outstanding job per connection, windowed by the
+// coordinator through its connection count.
+func (n *Node) handleJob(cs *connState, payload []byte) bool {
+	if n.cfg.Jobs == nil {
+		return n.replyErr(cs, codeProto, fmt.Sprintf("node %q serves no grid jobs", n.cfg.Name))
+	}
+	reply, err := n.cfg.Jobs.RunJob(payload)
+	if err != nil {
+		return n.replyErr(cs, codeInternal, err.Error())
+	}
+	return cs.w.send(vJobResult, reply) == nil
+}
+
+// IsNodeLoss reports whether a request failure means the transport to the
+// node died (dial refused, connection severed, frame truncated or corrupted)
+// rather than the node answering with an error. Exported for internal/grid,
+// whose retry-on-node-loss placement reuses the recovery layer's
+// classification: remote application errors and placement bounces must never
+// be retried on another worker, because the same job would fail identically.
+func IsNodeLoss(err error) bool { return isNodeLoss(err) }
+
+// JobConn is one grid job channel to a worker node: a dedicated connection
+// carrying strict request/response job round trips. A coordinator opens up to
+// its in-flight window's worth of JobConns per worker; each conn is owned by
+// one goroutine at a time and provides no internal locking.
+type JobConn struct {
+	w    *wire
+	name string
+	wire int64 // cumulative bytes over the wire, both directions
+}
+
+// DialJob connects to a worker node and learns its name from a stats round
+// trip, so attribution in bench reports uses the node's self-declared
+// identity rather than its address.
+func DialJob(addr string) (*JobConn, error) {
+	w, err := dialWire(addr)
+	if err != nil {
+		return nil, err
+	}
+	c := &JobConn{w: w}
+	st, err := statsOver(w)
+	if err != nil {
+		w.Close()
+		return nil, fmt.Errorf("fleet: job dial %s: %w", addr, err)
+	}
+	c.name = st.Name
+	c.account(len(w.wbuf), 0) // stats reply size is unknown post-hoc; counted below
+	c.account(0, headerSize+len(w.rbuf))
+	return c, nil
+}
+
+// Name returns the worker node's self-reported name.
+func (c *JobConn) Name() string { return c.name }
+
+// WireBytes returns the cumulative bytes this connection moved in both
+// directions (requests, replies, checksums, the dial handshake). The grid
+// scheduler differences it around each run for per-job accounting.
+func (c *JobConn) WireBytes() int64 { return c.wire }
+
+func (c *JobConn) account(sent, recvd int) { c.wire += int64(sent) + int64(recvd) }
+
+// Run ships one job payload and blocks until the worker's reply. The returned
+// reply is a copy (the wire scratch is reused), so callers may hold it across
+// subsequent round trips. Transport failures classify as node loss
+// (IsNodeLoss); error replies from a live worker come back as remote errors.
+func (c *JobConn) Run(payload []byte) ([]byte, error) {
+	rv, reply, err := c.w.roundTrip(vJob, payload)
+	c.account(len(c.w.wbuf), 0)
+	if err != nil {
+		return nil, err
+	}
+	c.account(0, headerSize+len(reply)+sha256.Size)
+	if rv != vJobResult {
+		return nil, fmt.Errorf("fleet: job reply verb %s", rv)
+	}
+	return append([]byte(nil), reply...), nil
+}
+
+// Close tears the connection down.
+func (c *JobConn) Close() error { return c.w.Close() }

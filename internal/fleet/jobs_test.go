@@ -1,0 +1,151 @@
+package fleet
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// echoRunner is a JobRunner returning a deterministic transform of the
+// payload, or an error when told to.
+type echoRunner struct {
+	fail error
+	runs int
+}
+
+func (r *echoRunner) RunJob(payload []byte) ([]byte, error) {
+	r.runs++
+	if r.fail != nil {
+		return nil, r.fail
+	}
+	return append([]byte("echo:"), payload...), nil
+}
+
+func startJobNode(t *testing.T, cfg NodeConfig) (*Node, string) {
+	t.Helper()
+	n := NewNode(cfg)
+	addr, err := n.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { n.Close() })
+	return n, addr
+}
+
+func TestJobRoundTrip(t *testing.T) {
+	run := &echoRunner{}
+	_, addr := startJobNode(t, NodeConfig{Name: "job-node", Jobs: run})
+	c, err := DialJob(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if c.Name() != "job-node" {
+		t.Fatalf("conn learned name %q, want the node's self-declared identity", c.Name())
+	}
+	afterDial := c.WireBytes()
+	if afterDial <= 0 {
+		t.Fatal("dial handshake moved no accounted bytes")
+	}
+	for i := 0; i < 3; i++ {
+		payload := []byte(fmt.Sprintf("job %d", i))
+		reply, err := c.Run(payload)
+		if err != nil {
+			t.Fatalf("job %d: %v", i, err)
+		}
+		if want := append([]byte("echo:"), payload...); !bytes.Equal(reply, want) {
+			t.Fatalf("job %d: reply %q, want %q", i, reply, want)
+		}
+	}
+	if run.runs != 3 {
+		t.Fatalf("runner executed %d jobs, want 3", run.runs)
+	}
+	// Each round trip moves at least its frames' worth of bytes: header +
+	// checksum both directions, plus both payloads.
+	if got := c.WireBytes() - afterDial; got < 3*2*(headerSize+32) {
+		t.Fatalf("3 round trips accounted only %d bytes", got)
+	}
+}
+
+// TestJobReplyIsACopy pins Run's contract that replies survive later round
+// trips even though the wire's receive scratch is reused.
+func TestJobReplyIsACopy(t *testing.T) {
+	_, addr := startJobNode(t, NodeConfig{Name: "copy-node", Jobs: &echoRunner{}})
+	c, err := DialJob(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	first, err := c.Run([]byte("alpha"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Run([]byte("a longer second payload overwriting scratch")); err != nil {
+		t.Fatal(err)
+	}
+	if string(first) != "echo:alpha" {
+		t.Fatalf("first reply mutated by second round trip: %q", first)
+	}
+}
+
+// TestJobWithoutRunner pins the no-runner contract: a node built without a
+// JobRunner answers vJob with a protocol-level remote error — the node is
+// alive, so the failure must not classify as node loss.
+func TestJobWithoutRunner(t *testing.T) {
+	_, addr := startJobNode(t, NodeConfig{Name: "stream-only"})
+	c, err := DialJob(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	_, err = c.Run([]byte("anything"))
+	if err == nil {
+		t.Fatal("runner-less node accepted a job")
+	}
+	if IsNodeLoss(err) {
+		t.Fatalf("live node's job refusal classified as node loss: %v", err)
+	}
+	if !strings.Contains(err.Error(), "stream-only") {
+		t.Fatalf("refusal should name the node: %v", err)
+	}
+}
+
+// TestJobRunnerError pins the remote-application-error path: the runner's
+// error text crosses the wire, the connection survives for further jobs, and
+// the failure never classifies as node loss (re-running the same job on
+// another worker would fail identically).
+func TestJobRunnerError(t *testing.T) {
+	run := &echoRunner{fail: errors.New("dataset exploded")}
+	_, addr := startJobNode(t, NodeConfig{Name: "flaky", Jobs: run})
+	c, err := DialJob(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	_, err = c.Run([]byte("doomed"))
+	if err == nil {
+		t.Fatal("failing runner returned no error")
+	}
+	if IsNodeLoss(err) {
+		t.Fatalf("remote application error classified as node loss: %v", err)
+	}
+	if !strings.Contains(err.Error(), "dataset exploded") {
+		t.Fatalf("runner error text lost in transit: %v", err)
+	}
+	run.fail = nil
+	if reply, err := c.Run([]byte("retry")); err != nil || string(reply) != "echo:retry" {
+		t.Fatalf("connection unusable after remote error: %q, %v", reply, err)
+	}
+}
+
+func TestJobDialRefusedIsNodeLoss(t *testing.T) {
+	_, err := DialJob("127.0.0.1:1") // nothing listens there
+	if err == nil {
+		t.Fatal("dial to dead address succeeded")
+	}
+	if !IsNodeLoss(err) {
+		t.Fatalf("refused dial not classified as node loss: %v", err)
+	}
+}

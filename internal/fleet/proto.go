@@ -88,8 +88,9 @@ var (
 )
 
 // verb identifies a message's meaning. Requests: open, push, close,
-// snapshot, restore, drain, stats, ping. Responses: ok, result, snapData,
-// statsData, errReply.
+// snapshot, restore, drain, stats, ping, job. Responses: ok, result,
+// snapData, statsData, errReply, jobResult. New verbs are appended before
+// verbEnd (never inserted mid-list: the byte values are the wire contract).
 type verb byte
 
 const (
@@ -106,15 +107,32 @@ const (
 	vSnapData
 	vStatsData
 	vErrReply
+	vJob
+	vJobResult
 
 	verbEnd // one past the last valid verb
 )
 
+// verbNames is the central verb registry: every valid verb has an entry, and
+// proto_test iterates registeredVerbs (1..verbEnd-1) so a newly appended verb
+// automatically gets per-damage-mode sentinel coverage, fuzz seeds, and a
+// name-completeness check.
 var verbNames = [...]string{
 	vOpen: "open", vPush: "push", vClose: "close", vSnapshot: "snapshot",
 	vRestore: "restore", vDrain: "drain", vStats: "stats", vPing: "ping",
 	vOK: "ok", vResult: "result", vSnapData: "snap-data",
 	vStatsData: "stats-data", vErrReply: "err",
+	vJob: "job", vJobResult: "job-result",
+}
+
+// registeredVerbs returns every valid wire verb in declaration order — the
+// registry the damage tables and fuzz seeds range over.
+func registeredVerbs() []verb {
+	vs := make([]verb, 0, int(verbEnd)-1)
+	for v := verb(1); v < verbEnd; v++ {
+		vs = append(vs, v)
+	}
+	return vs
 }
 
 func (v verb) String() string {

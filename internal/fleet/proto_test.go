@@ -54,118 +54,109 @@ func reframe(msg []byte) []byte {
 	return append(body, sum[:]...)
 }
 
-// TestRecvDamage drives every damage mode through its own distinct error —
-// the fleet mirror of the snapshot damage contract.
-func TestRecvDamage(t *testing.T) {
-	base := appendMessage(nil, vPush, []byte("frame bytes go here"))
-	cases := []struct {
+// damageModes is the per-frame corruption catalogue: each mode mutates one
+// clean frame and names the single sentinel the reader must land on. Modes
+// marked needsPayload only apply to frames that carry bytes (payload
+// corruption on an empty payload is a no-op).
+var damageModes = []struct {
+	name         string
+	needsPayload bool
+	mut          func([]byte) []byte
+	want         error
+}{
+	{"bad magic", false, func(m []byte) []byte {
+		m[0] = 'X'
+		return m
+	}, ErrBadMagic},
+	{"version skew", false, func(m []byte) []byte {
+		m[4] = ProtocolVersion + 1
+		return reframe(m) // valid checksum: version is rejected on its own
+	}, ErrVersionSkew},
+	{"oversized length prefix", false, func(m []byte) []byte {
+		binary.LittleEndian.PutUint64(m[6:14], MaxPayload+1)
+		return m
+	}, ErrOversized},
+	{"truncated header", false, func(m []byte) []byte {
+		return m[:headerSize-3]
+	}, ErrTruncated},
+	{"truncated body", false, func(m []byte) []byte {
+		return m[:len(m)-5]
+	}, ErrTruncated},
+	{"payload corruption", true, func(m []byte) []byte {
+		m[headerSize+2] ^= 0x40
+		return m
+	}, ErrChecksum},
+	{"checksum corruption", false, func(m []byte) []byte {
+		m[len(m)-1] ^= 0x01
+		return m
+	}, ErrChecksum},
+	{"verb corruption", false, func(m []byte) []byte {
+		m[5] = 0x7F
+		return reframe(m) // checksum-valid frame carrying a verb we don't speak
+	}, ErrUnknownVerb},
+}
+
+// TestRecvDamageEveryVerb drives every damage mode over every registered wire
+// verb, payload-less and payload-carrying — the fleet mirror of the snapshot
+// damage contract. Ranging over the verb registry means a newly added verb
+// gets per-damage-mode sentinel coverage the moment it exists, with no table
+// to remember to extend.
+func TestRecvDamageEveryVerb(t *testing.T) {
+	payloads := []struct {
 		name string
-		mut  func([]byte) []byte
-		want error
+		p    []byte
 	}{
-		{"bad magic", func(m []byte) []byte {
-			m[0] = 'X'
-			return m
-		}, ErrBadMagic},
-		{"version skew", func(m []byte) []byte {
-			m[4] = ProtocolVersion + 1
-			return reframe(m) // valid checksum: version is rejected on its own
-		}, ErrVersionSkew},
-		{"oversized length prefix", func(m []byte) []byte {
-			binary.LittleEndian.PutUint64(m[6:14], MaxPayload+1)
-			return m
-		}, ErrOversized},
-		{"truncated header", func(m []byte) []byte {
-			return m[:headerSize-3]
-		}, ErrTruncated},
-		{"truncated body", func(m []byte) []byte {
-			return m[:len(m)-5]
-		}, ErrTruncated},
-		{"payload corruption", func(m []byte) []byte {
-			m[headerSize+2] ^= 0x40
-			return m
-		}, ErrChecksum},
-		{"checksum corruption", func(m []byte) []byte {
-			m[len(m)-1] ^= 0x01
-			return m
-		}, ErrChecksum},
-		{"unknown verb", func(m []byte) []byte {
-			m[5] = 0x7F
-			return reframe(m) // checksum-valid frame carrying a verb we don't speak
-		}, ErrUnknownVerb},
+		{"empty", nil},
+		{"payload", []byte("frame bytes go here")},
 	}
-	for _, tc := range cases {
-		t.Run(tc.name, func(t *testing.T) {
-			msg := tc.mut(append([]byte(nil), base...))
-			_, _, err := recvWire(msg).recv()
-			if !errors.Is(err, tc.want) {
-				t.Fatalf("recv = %v, want %v", err, tc.want)
+	for _, v := range registeredVerbs() {
+		for _, pl := range payloads {
+			base := appendMessage(nil, v, pl.p)
+			// The undamaged frame must decode cleanly before damaging it:
+			// a mode that "fails" on an already-broken frame proves nothing.
+			if rv, rp, err := recvWire(base).recv(); err != nil || rv != v || !bytes.Equal(rp, pl.p) {
+				t.Fatalf("clean %s/%s frame: verb %s payload %d err %v", v, pl.name, rv, len(rp), err)
 			}
-			// Each failure mode must keep its distinct identity: no other
-			// sentinel may match.
-			for _, other := range []error{ErrBadMagic, ErrVersionSkew, ErrOversized, ErrTruncated, ErrChecksum, ErrUnknownVerb} {
-				if other != tc.want && errors.Is(err, other) {
-					t.Errorf("error %v also matches %v", err, other)
+			for _, mode := range damageModes {
+				if mode.needsPayload && len(pl.p) == 0 {
+					continue
 				}
+				t.Run(fmt.Sprintf("%s/%s/%s", v, pl.name, mode.name), func(t *testing.T) {
+					msg := mode.mut(append([]byte(nil), base...))
+					_, _, err := recvWire(msg).recv()
+					if !errors.Is(err, mode.want) {
+						t.Fatalf("recv = %v, want %v", err, mode.want)
+					}
+					// Each failure mode must keep its distinct identity: no
+					// other sentinel may match.
+					for _, other := range []error{ErrBadMagic, ErrVersionSkew, ErrOversized, ErrTruncated, ErrChecksum, ErrUnknownVerb} {
+						if other != mode.want && errors.Is(err, other) {
+							t.Errorf("error %v also matches %v", err, other)
+						}
+					}
+				})
 			}
-		})
+		}
 	}
 }
 
-// TestRecvDamagePing mirrors TestRecvDamage for the ping verb: every
-// corruption of a (payload-less) ping frame must land on exactly one
-// sentinel, so a health probe can never mistake damage for liveness.
-func TestRecvDamagePing(t *testing.T) {
-	base := appendMessage(nil, vPing, nil)
-	cases := []struct {
-		name string
-		mut  func([]byte) []byte
-		want error
-	}{
-		{"bad magic", func(m []byte) []byte {
-			m[0] = 'X'
-			return m
-		}, ErrBadMagic},
-		{"version skew", func(m []byte) []byte {
-			m[4] = ProtocolVersion + 1
-			return reframe(m)
-		}, ErrVersionSkew},
-		{"oversized length prefix", func(m []byte) []byte {
-			binary.LittleEndian.PutUint64(m[6:14], MaxPayload+1)
-			return m
-		}, ErrOversized},
-		{"truncated header", func(m []byte) []byte {
-			return m[:headerSize-3]
-		}, ErrTruncated},
-		{"truncated checksum", func(m []byte) []byte {
-			return m[:len(m)-5]
-		}, ErrTruncated},
-		{"checksum corruption", func(m []byte) []byte {
-			m[len(m)-1] ^= 0x01
-			return m
-		}, ErrChecksum},
-		{"verb corruption", func(m []byte) []byte {
-			m[5] = 0x7F
-			return reframe(m)
-		}, ErrUnknownVerb},
+// TestVerbNamesComplete pins the registry itself: every registered verb must
+// render a real name (an unnamed verb means verbNames lagged a new verb
+// constant, and with it every name-keyed diagnostic).
+func TestVerbNamesComplete(t *testing.T) {
+	seen := make(map[string]verb)
+	for _, v := range registeredVerbs() {
+		name := v.String()
+		if name == "" || name == fmt.Sprintf("verb(0x%02x)", byte(v)) {
+			t.Errorf("verb %d has no entry in verbNames", byte(v))
+		}
+		if prev, dup := seen[name]; dup {
+			t.Errorf("verbs %d and %d share the name %q", byte(prev), byte(v), name)
+		}
+		seen[name] = v
 	}
-	for _, tc := range cases {
-		t.Run(tc.name, func(t *testing.T) {
-			msg := tc.mut(append([]byte(nil), base...))
-			_, _, err := recvWire(msg).recv()
-			if !errors.Is(err, tc.want) {
-				t.Fatalf("recv = %v, want %v", err, tc.want)
-			}
-			for _, other := range []error{ErrBadMagic, ErrVersionSkew, ErrOversized, ErrTruncated, ErrChecksum, ErrUnknownVerb} {
-				if other != tc.want && errors.Is(err, other) {
-					t.Errorf("error %v also matches %v", err, other)
-				}
-			}
-		})
-	}
-	// The undamaged frame decodes to exactly a ping.
-	if v, p, err := recvWire(base).recv(); err != nil || v != vPing || len(p) != 0 {
-		t.Fatalf("clean ping frame: verb %s payload %d err %v", v, len(p), err)
+	if verb(0).String() == "" {
+		t.Error("verb 0 should render a placeholder name, not empty")
 	}
 }
 
@@ -205,10 +196,13 @@ func TestRecvCleanEOF(t *testing.T) {
 
 // FuzzRecv feeds arbitrary bytes to the frame reader: it must never panic
 // and never return a valid message unless the checksum genuinely holds.
+// Every registered verb seeds the corpus, empty and payload-carrying, so new
+// verbs are fuzzed from their first run.
 func FuzzRecv(f *testing.F) {
-	f.Add(appendMessage(nil, vOpen, []byte("seed")))
-	f.Add(appendMessage(nil, vStats, nil))
-	f.Add(appendMessage(nil, vPing, nil))
+	for _, v := range registeredVerbs() {
+		f.Add(appendMessage(nil, v, nil))
+		f.Add(appendMessage(nil, v, []byte("seed")))
+	}
 	f.Add([]byte("AGSF garbage that is not a frame"))
 	f.Add([]byte{})
 	f.Fuzz(func(t *testing.T, data []byte) {

@@ -1,0 +1,179 @@
+package grid
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"ags/internal/scene"
+	"ags/internal/slam"
+)
+
+// Job and job-result payloads ride inside fleet vJob/vJobResult frames, which
+// already carry the magic/version/checksum armor — this codec only has to be
+// unambiguous and reject trailing or overlong content, in the same
+// length-prefixed little-endian style as the fleet and snapshot codecs.
+//
+// A job ships everything a worker needs to reproduce one bench run from
+// nothing: the spec's cache identity (for logs and error context), the
+// procedural dataset recipe (scene.Config — workers regenerate the sequence
+// deterministically rather than shipping frames), and the fully resolved
+// slam.Config. Resolution happens on the coordinator because RunSpec
+// overrides are functions and cannot cross a wire; the resolved config
+// crosses bit-exactly via the slam snapshot codec (slam.AppendConfig).
+
+// Job names one resolved bench execution.
+type Job struct {
+	// ID is the RunSpec cache identity (sequence/variant/key), carried for
+	// logs and error context only — the payload below is self-sufficient.
+	ID string
+	// Seq is the procedural sequence name (scene.Generate's first argument).
+	Seq string
+	// Scene is the dataset regeneration recipe.
+	Scene scene.Config
+	// Cfg is the fully resolved pipeline configuration, variant and override
+	// already applied.
+	Cfg slam.Config
+}
+
+// jobResult is a worker's reply: the finished system's snapshot (AGSSNAP
+// bytes, themselves checksummed) plus the Result digest the worker computed
+// before encoding. The coordinator restores the snapshot, finishes it, and
+// recomputes the digest — a mismatch means the codec, not the run, diverged.
+// Worker attribution is not in the payload: the scheduler already knows each
+// connection's node from its stats handshake, the node's self-declared name.
+type jobResult struct {
+	Digest [32]byte
+	Snap   []byte
+}
+
+type enc struct{ buf []byte }
+
+func (e *enc) u64(v uint64) { e.buf = binary.LittleEndian.AppendUint64(e.buf, v) }
+func (e *enc) i64(v int64)  { e.u64(uint64(v)) }
+func (e *enc) f64(v float64) {
+	e.u64(math.Float64bits(v))
+}
+
+func (e *enc) str(s string) {
+	e.u64(uint64(len(s)))
+	e.buf = append(e.buf, s...)
+}
+
+func (e *enc) bytes(b []byte) {
+	e.u64(uint64(len(b)))
+	e.buf = append(e.buf, b...)
+}
+
+// dec is the sticky-error cursor over a payload (mirroring fleet's wireDec).
+type dec struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (d *dec) fail(format string, args ...any) {
+	if d.err == nil {
+		d.err = fmt.Errorf(format, args...)
+	}
+}
+
+func (d *dec) take(n int) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if len(d.b)-d.off < n {
+		d.fail("payload exhausted at offset %d (need %d bytes, have %d)", d.off, n, len(d.b)-d.off)
+		return nil
+	}
+	b := d.b[d.off : d.off+n]
+	d.off += n
+	return b
+}
+
+func (d *dec) u64() uint64 {
+	b := d.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+func (d *dec) i64() int64   { return int64(d.u64()) }
+func (d *dec) f64() float64 { return math.Float64frombits(d.u64()) }
+
+func (d *dec) sliceLen() int {
+	n := d.u64()
+	if d.err != nil {
+		return 0
+	}
+	if n > uint64(len(d.b)-d.off) {
+		d.fail("length %d exceeds remaining payload (%d bytes)", n, len(d.b)-d.off)
+		return 0
+	}
+	return int(n)
+}
+
+func (d *dec) str() string   { return string(d.take(d.sliceLen())) }
+func (d *dec) bytes() []byte { return d.take(d.sliceLen()) }
+
+func (d *dec) finish(what string) error {
+	if d.err != nil {
+		return fmt.Errorf("grid: %s payload: %w", what, d.err)
+	}
+	if d.off != len(d.b) {
+		return fmt.Errorf("grid: %s payload: %d trailing bytes", what, len(d.b)-d.off)
+	}
+	return nil
+}
+
+func encodeJob(buf []byte, job *Job) []byte {
+	e := enc{buf: buf}
+	e.str(job.ID)
+	e.str(job.Seq)
+	e.i64(int64(job.Scene.Width))
+	e.i64(int64(job.Scene.Height))
+	e.i64(int64(job.Scene.Frames))
+	e.i64(job.Scene.Seed)
+	e.f64(job.Scene.VFoV)
+	e.bytes(slam.AppendConfig(nil, &job.Cfg))
+	return e.buf
+}
+
+func decodeJob(b []byte) (Job, error) {
+	d := &dec{b: b}
+	var job Job
+	job.ID = d.str()
+	job.Seq = d.str()
+	job.Scene.Width = int(d.i64())
+	job.Scene.Height = int(d.i64())
+	job.Scene.Frames = int(d.i64())
+	job.Scene.Seed = d.i64()
+	job.Scene.VFoV = d.f64()
+	cfgBytes := d.bytes()
+	if err := d.finish("job"); err != nil {
+		return Job{}, err
+	}
+	cfg, err := slam.DecodeConfig(cfgBytes)
+	if err != nil {
+		return Job{}, fmt.Errorf("grid: job %s: %w", job.ID, err)
+	}
+	job.Cfg = cfg
+	return job, nil
+}
+
+func encodeJobResult(buf []byte, r *jobResult) []byte {
+	e := enc{buf: buf}
+	e.buf = append(e.buf, r.Digest[:]...)
+	e.bytes(r.Snap)
+	return e.buf
+}
+
+func decodeJobResult(b []byte) (jobResult, error) {
+	d := &dec{b: b}
+	var r jobResult
+	copy(r.Digest[:], d.take(sha256.Size))
+	r.Snap = d.bytes()
+	return r, d.finish("job-result")
+}

@@ -1,0 +1,302 @@
+package grid
+
+import (
+	"errors"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"ags/internal/fleet"
+	"ags/internal/fleet/chaos"
+	"ags/internal/scene"
+	"ags/internal/slam"
+)
+
+func tinySceneCfg() scene.Config {
+	return scene.Config{Width: 40, Height: 32, Frames: 6, Seed: 1}
+}
+
+func tinySlamCfg() slam.Config {
+	cfg := slam.DefaultConfig(40, 32)
+	cfg.TrackIters = 8
+	cfg.IterT = 3
+	cfg.Mapper.MapIters = 4
+	cfg.Mapper.DensifyStride = 2
+	cfg.EnableMAT, cfg.EnableGCM = true, true
+	return cfg
+}
+
+func tinyJob(id, seq string) Job {
+	return Job{ID: id, Seq: seq, Scene: tinySceneCfg(), Cfg: tinySlamCfg()}
+}
+
+// startNode boots one worker node behind a chaos injector (so tests can kill
+// it uncleanly) and returns its address and injector.
+func startNode(t *testing.T, name string, jobs fleet.JobRunner) (string, *chaos.Injector) {
+	t.Helper()
+	in := chaos.New(chaos.Config{Seed: 0x6D1D})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := fleet.NewNode(fleet.NodeConfig{Name: name, Jobs: jobs})
+	addr, err := n.StartOn(in.Listen(ln))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if !in.Killed() {
+			n.Close()
+		}
+	})
+	return addr, in
+}
+
+func newTestScheduler(t *testing.T, cfg Config) *Scheduler {
+	t.Helper()
+	if cfg.Sleep == nil {
+		cfg.Sleep = func(time.Duration) {}
+	}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	return s
+}
+
+// TestSchedulerMatchesLocalRun is the subsystem gate at test scale: two specs
+// over two workers must reproduce the local slam.Run digests bit for bit,
+// spread across both workers, with at least one sampled replay confirmation.
+func TestSchedulerMatchesLocalRun(t *testing.T) {
+	addrA, _ := startNode(t, "wk-a", NewWorker())
+	addrB, _ := startNode(t, "wk-b", NewWorker())
+	sch := newTestScheduler(t, Config{Workers: []string{addrA, addrB}, Window: 1, SampleEvery: 2})
+
+	for _, name := range []string{"Desk", "Xyz"} {
+		seq, err := scene.Generate(name, tinySceneCfg())
+		if err != nil {
+			t.Fatal(err)
+		}
+		local, err := slam.Run(tinySlamCfg(), seq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, info, err := sch.ExecuteSpec(tinyJob(name+"/ags/", name), seq)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if res.Digest() != local.Digest() {
+			t.Fatalf("%s on %s: remote digest diverges from local run", name, info.Worker)
+		}
+		if info.WireBytes <= 0 {
+			t.Fatalf("%s: no wire bytes attributed", name)
+		}
+	}
+
+	m := sch.Metrics()
+	if m.Jobs != 2 || m.Retries != 0 || m.Evictions != 0 {
+		t.Fatalf("metrics %+v: want 2 jobs, no retries, no evictions", m)
+	}
+	if m.Verified < 1 {
+		t.Fatal("no job confirmed by sampled local replay")
+	}
+	for _, pw := range m.PerWorker {
+		if pw.Jobs != 1 {
+			t.Fatalf("worker %s ran %d jobs; serial dispatch must round-robin", pw.Name, pw.Jobs)
+		}
+	}
+	if m.WireBytes <= 0 {
+		t.Fatal("no bytes accounted over the wire")
+	}
+}
+
+// TestSchedulerRetriesOverKilledWorker kills the idle worker mid-sweep: its
+// job must re-place on the survivor after exactly one eviction, and the
+// result must still match the local digest.
+func TestSchedulerRetriesOverKilledWorker(t *testing.T) {
+	addrA, _ := startNode(t, "wk-a", NewWorker())
+	addrB, injB := startNode(t, "wk-b", NewWorker())
+	sch := newTestScheduler(t, Config{Workers: []string{addrA, addrB}, Window: 1})
+
+	seq, err := scene.Generate("Desk", tinySceneCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	local, err := slam.Run(tinySlamCfg(), seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Job 1 lands on wk-a (declaration order). Kill wk-b — job 2's natural
+	// least-loaded target — before dispatching it.
+	if _, _, err := sch.ExecuteSpec(tinyJob("Desk/ags/1", "Desk"), seq); err != nil {
+		t.Fatal(err)
+	}
+	injB.Kill()
+	res, info, err := sch.ExecuteSpec(tinyJob("Desk/ags/2", "Desk"), seq)
+	if err != nil {
+		t.Fatalf("sweep did not survive the kill: %v", err)
+	}
+	if info.Worker != "wk-a" {
+		t.Fatalf("retried job ran on %q, want the survivor wk-a", info.Worker)
+	}
+	if res.Digest() != local.Digest() {
+		t.Fatal("retried job's digest diverges from local run")
+	}
+	m := sch.Metrics()
+	if m.Retries < 1 {
+		t.Fatalf("metrics %+v: kill produced no retry", m)
+	}
+	if m.Evictions != 1 {
+		t.Fatalf("metrics %+v: want exactly 1 eviction", m)
+	}
+}
+
+// badRunner replies with bytes that are not a job-result payload.
+type badRunner struct{}
+
+func (badRunner) RunJob([]byte) ([]byte, error) { return []byte("not a job result"), nil }
+
+// TestMalformedReplySurfacesWithoutWedging pins the live-worker failure path:
+// a decodable-frame/undecodable-payload reply must surface ErrBadResult — not
+// retry, not hang — and the scheduler must stay dispatchable afterwards.
+func TestMalformedReplySurfacesWithoutWedging(t *testing.T) {
+	addr, _ := startNode(t, "wk-bad", badRunner{})
+	sch := newTestScheduler(t, Config{Workers: []string{addr}, Window: 1})
+	seq, err := scene.Generate("Desk", tinySceneCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ { // twice: a wedged window would hang the second call
+		done := make(chan error, 1)
+		//ags:allow(goroutine-site, test watchdog: bounds a call that must not block)
+		go func() {
+			_, _, err := sch.ExecuteSpec(tinyJob("Desk/ags/", "Desk"), seq)
+			done <- err
+		}()
+		select {
+		case err := <-done:
+			if !errors.Is(err, ErrBadResult) {
+				t.Fatalf("call %d: err = %v, want ErrBadResult", i, err)
+			}
+		case <-time.After(30 * time.Second):
+			t.Fatalf("call %d wedged: in-flight window slot not released", i)
+		}
+	}
+	if m := sch.Metrics(); m.Retries != 0 || m.Evictions != 0 {
+		t.Fatalf("metrics %+v: malformed result from a live worker must not retry or evict", m)
+	}
+}
+
+// TestRemoteRunFailureCarriesJobID pins mid-run worker failures: the error
+// reaches the coordinator with the job's identity attached, classified as a
+// live-worker failure (no retry — the same job would fail identically
+// elsewhere).
+func TestRemoteRunFailureCarriesJobID(t *testing.T) {
+	addr, _ := startNode(t, "wk-a", NewWorker())
+	sch := newTestScheduler(t, Config{Workers: []string{addr}})
+	job := tinyJob("NoSuchSeq/ags/", "NoSuchSeq") // unknown sequence fails remotely
+	_, _, err := sch.ExecuteSpec(job, nil)
+	if err == nil {
+		t.Fatal("job for an unknown sequence succeeded")
+	}
+	if !strings.Contains(err.Error(), job.ID) {
+		t.Fatalf("error does not name the job: %v", err)
+	}
+	if m := sch.Metrics(); m.Retries != 0 || m.Jobs != 0 {
+		t.Fatalf("metrics %+v: remote run failure must not retry or count as done", m)
+	}
+}
+
+// TestDigestMismatchSurfaces routes a real worker's reply through a mutator
+// that flips one digest bit: the coordinator's recomputation must catch it.
+func TestDigestMismatchSurfaces(t *testing.T) {
+	real := NewWorker()
+	tamper := runnerFunc(func(payload []byte) ([]byte, error) {
+		reply, err := real.RunJob(payload)
+		if err != nil {
+			return nil, err
+		}
+		r, err := decodeJobResult(reply)
+		if err != nil {
+			return nil, err
+		}
+		r.Digest[0] ^= 0x01
+		return encodeJobResult(nil, &r), nil
+	})
+	addr, _ := startNode(t, "wk-tamper", tamper)
+	sch := newTestScheduler(t, Config{Workers: []string{addr}})
+	seq, err := scene.Generate("Desk", tinySceneCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = sch.ExecuteSpec(tinyJob("Desk/ags/", "Desk"), seq)
+	if !errors.Is(err, ErrDigestMismatch) {
+		t.Fatalf("err = %v, want ErrDigestMismatch", err)
+	}
+}
+
+type runnerFunc func([]byte) ([]byte, error)
+
+func (f runnerFunc) RunJob(p []byte) ([]byte, error) { return f(p) }
+
+// TestAllWorkersDown pins the terminal case: when every worker is gone and a
+// redial pass recovers none, ExecuteSpec reports ErrNoWorkers instead of
+// spinning.
+func TestAllWorkersDown(t *testing.T) {
+	addr, inj := startNode(t, "wk-a", NewWorker())
+	sch := newTestScheduler(t, Config{Workers: []string{addr}, Attempts: 2})
+	inj.Kill()
+	seq, err := scene.Generate("Desk", tinySceneCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = sch.ExecuteSpec(tinyJob("Desk/ags/", "Desk"), seq)
+	if !errors.Is(err, ErrNoWorkers) {
+		t.Fatalf("err = %v, want ErrNoWorkers", err)
+	}
+}
+
+// TestNewFailsFastOnUnreachableWorker: a misspelled address must fail
+// construction, not silently shrink the grid.
+func TestNewFailsFastOnUnreachableWorker(t *testing.T) {
+	addr, _ := startNode(t, "wk-a", NewWorker())
+	_, err := New(Config{Workers: []string{addr, "127.0.0.1:1"}})
+	if err == nil {
+		t.Fatal("New accepted an unreachable worker")
+	}
+	if !strings.Contains(err.Error(), "127.0.0.1:1") {
+		t.Fatalf("error does not name the dead worker: %v", err)
+	}
+}
+
+// TestWorkerSequenceCacheSingleflights: two jobs sharing a recipe must share
+// one dataset generation on the worker.
+func TestWorkerSequenceCache(t *testing.T) {
+	w := NewWorker()
+	job := tinyJob("Desk/ags/", "Desk")
+	payload := encodeJob(nil, &job)
+	if _, err := w.RunJob(payload); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.RunJob(payload); err != nil {
+		t.Fatal(err)
+	}
+	if w.Jobs() != 2 {
+		t.Fatalf("worker counted %d jobs, want 2", w.Jobs())
+	}
+	w.mu.Lock()
+	cached := len(w.seqs)
+	w.mu.Unlock()
+	if cached != 1 {
+		t.Fatalf("worker cached %d sequences, want 1 shared entry", cached)
+	}
+}
+
+// TestWorkerRejectsGarbageJob: an undecodable job payload errors cleanly.
+func TestWorkerRejectsGarbageJob(t *testing.T) {
+	if _, err := NewWorker().RunJob([]byte("garbage")); err == nil {
+		t.Fatal("worker accepted a garbage job payload")
+	}
+}

@@ -1,0 +1,463 @@
+package grid
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"ags/internal/fleet"
+	"ags/internal/scene"
+	"ags/internal/slam"
+)
+
+// Sentinel failures the scheduler surfaces distinctly. None of them are
+// retried on another worker: each means a live worker (or this coordinator)
+// produced a wrong answer, so the same job would fail identically elsewhere
+// and the batch must stop loudly instead of shipping a poisoned table.
+var (
+	// ErrNoWorkers means every configured worker is unreachable, even after a
+	// redial pass.
+	ErrNoWorkers = errors.New("grid: no reachable workers")
+	// ErrBadResult means a worker's reply payload did not decode or restore.
+	ErrBadResult = errors.New("grid: malformed worker result")
+	// ErrDigestMismatch means the coordinator's restored result hashed
+	// differently from the digest the worker computed before encoding.
+	ErrDigestMismatch = errors.New("grid: worker digest mismatch")
+	// ErrReplayMismatch means a sampled local re-execution of the job
+	// disagreed with the remote digest.
+	ErrReplayMismatch = errors.New("grid: local replay mismatch")
+)
+
+const (
+	defaultWindow      = 2
+	defaultSampleEvery = 4
+	defaultAttempts    = 4
+	defaultBackoffBase = 5 * time.Millisecond
+)
+
+// Config shapes a Scheduler.
+type Config struct {
+	// Workers lists worker node addresses. At least one is required and every
+	// one must be reachable at New time (a misspelled address should fail the
+	// batch immediately, not silently shrink the grid).
+	Workers []string
+	// Window bounds in-flight jobs per worker (default 2). Dispatch blocks
+	// when every reachable worker is at its window.
+	Window int
+	// SampleEvery locally replays every Nth completed remote job (default 4;
+	// the first completion is always sampled). Replay is the execution-layer
+	// check: the frame checksum guards the transport and the digest
+	// recomputation guards the codec, but only re-running the job catches a
+	// worker whose pipeline itself diverges.
+	SampleEvery int
+	// Attempts bounds placements per job under node loss (default 4).
+	Attempts int
+	// BackoffBase is the deterministic backoff unit between placement
+	// attempts: attempt k sleeps base<<(k-1) (default 5ms).
+	BackoffBase time.Duration
+	// Sleep replaces time.Sleep between attempts (tests pass a recorder).
+	Sleep func(time.Duration)
+}
+
+// ExecInfo describes how one spec was executed, for bench report attribution.
+type ExecInfo struct {
+	// Worker is the executing node's self-declared name ("local" for
+	// in-process execution; the bench layer fills that case in).
+	Worker string
+	// WireBytes counts bytes moved both directions for this job, including
+	// the dial handshake when the job opened a fresh connection.
+	WireBytes int64
+	// Verified reports whether this job's remote result was additionally
+	// confirmed by a sampled local replay.
+	Verified bool
+}
+
+// WorkerLoad is one worker's slice of a Metrics snapshot.
+type WorkerLoad struct {
+	Name string
+	Jobs int
+}
+
+// Metrics is a point-in-time snapshot of scheduler counters.
+type Metrics struct {
+	Jobs      int   // completed jobs
+	Retries   int   // re-placements after node loss
+	Evictions int   // workers marked down
+	Verified  int   // jobs confirmed by local replay
+	WireBytes int64 // total bytes over the wire, both directions
+	PerWorker []WorkerLoad
+}
+
+type workerState struct {
+	addr     string
+	name     string
+	idle     []*fleet.JobConn
+	inflight int
+	jobs     int
+	down     bool
+}
+
+// Scheduler fans resolved bench jobs out to worker nodes with least-loaded
+// placement, a bounded in-flight window per worker, and retry-on-node-loss
+// re-placement using the fleet recovery layer's failure classification. It is
+// safe for concurrent ExecuteSpec calls (bench.RunBatch's worker pool drives
+// it directly).
+type Scheduler struct {
+	cfg   Config
+	sleep func(time.Duration)
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	workers []*workerState
+	closed  bool
+
+	jobs      int
+	retries   int
+	evictions int
+	verified  int
+	wire      int64
+	completed int // sampling counter, distinct from jobs for clarity at call sites
+}
+
+// New dials every configured worker concurrently, learns each node's
+// self-declared name, and returns a ready scheduler. Any unreachable worker
+// fails construction.
+func New(cfg Config) (*Scheduler, error) {
+	if len(cfg.Workers) == 0 {
+		return nil, ErrNoWorkers
+	}
+	if cfg.Window <= 0 {
+		cfg.Window = defaultWindow
+	}
+	if cfg.SampleEvery <= 0 {
+		cfg.SampleEvery = defaultSampleEvery
+	}
+	if cfg.Attempts <= 0 {
+		cfg.Attempts = defaultAttempts
+	}
+	if cfg.BackoffBase <= 0 {
+		cfg.BackoffBase = defaultBackoffBase
+	}
+	s := &Scheduler{cfg: cfg, sleep: cfg.Sleep}
+	if s.sleep == nil {
+		s.sleep = time.Sleep
+	}
+	s.cond = sync.NewCond(&s.mu)
+	conns, err := s.dialAll(cfg.Workers)
+	if err != nil {
+		return nil, err
+	}
+	s.workers = make([]*workerState, len(cfg.Workers))
+	for i, addr := range cfg.Workers {
+		c := conns[i]
+		s.workers[i] = &workerState{addr: addr, name: c.Name(), idle: []*fleet.JobConn{c}}
+		s.wire += c.WireBytes()
+	}
+	return s, nil
+}
+
+// dialAll opens the initial connection to every worker concurrently and joins
+// before returning; on any failure it closes the connections that did come up
+// and reports the first error in worker order.
+func (s *Scheduler) dialAll(addrs []string) ([]*fleet.JobConn, error) {
+	conns := make([]*fleet.JobConn, len(addrs))
+	dialErrs := make([]error, len(addrs))
+	var wg sync.WaitGroup
+	for i, addr := range addrs {
+		wg.Add(1)
+		go func(i int, addr string) {
+			defer wg.Done()
+			conns[i], dialErrs[i] = fleet.DialJob(addr)
+		}(i, addr)
+	}
+	wg.Wait()
+	for i, err := range dialErrs {
+		if err == nil {
+			continue
+		}
+		for _, c := range conns {
+			if c != nil {
+				c.Close()
+			}
+		}
+		return nil, fmt.Errorf("grid: worker %s: %w", addrs[i], err)
+	}
+	return conns, nil
+}
+
+// Capacity returns the scheduler's total in-flight window — the natural batch
+// parallelism when the caller does not pick one.
+func (s *Scheduler) Capacity() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.workers) * s.cfg.Window
+}
+
+// Metrics snapshots the scheduler counters.
+func (s *Scheduler) Metrics() Metrics {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m := Metrics{
+		Jobs:      s.jobs,
+		Retries:   s.retries,
+		Evictions: s.evictions,
+		Verified:  s.verified,
+		WireBytes: s.wire,
+	}
+	for _, ws := range s.workers {
+		m.PerWorker = append(m.PerWorker, WorkerLoad{Name: ws.name, Jobs: ws.jobs})
+	}
+	return m
+}
+
+// Close tears down every pooled connection. In-flight jobs on checked-out
+// connections finish their round trip; subsequent ExecuteSpec calls fail.
+func (s *Scheduler) Close() {
+	s.mu.Lock()
+	s.closed = true
+	var conns []*fleet.JobConn
+	for _, ws := range s.workers {
+		conns = append(conns, ws.idle...)
+		ws.idle = nil
+	}
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	for _, c := range conns {
+		c.Close()
+	}
+}
+
+// ExecuteSpec runs one resolved job on the grid and returns the restored
+// result. seq is the coordinator's own copy of the job's dataset, used only
+// for the sampled local replay. Every remote result's digest is recomputed
+// from the restored snapshot; transport failures re-place the job on a
+// surviving worker with deterministic backoff, while live-worker errors and
+// verification failures surface immediately.
+func (s *Scheduler) ExecuteSpec(job Job, seq *scene.Sequence) (*slam.Result, ExecInfo, error) {
+	payload := encodeJob(nil, &job)
+	var last error
+	for attempt := 0; attempt < s.cfg.Attempts; attempt++ {
+		if attempt > 0 {
+			s.sleep(s.cfg.BackoffBase << (attempt - 1))
+			s.redialDown()
+		}
+		ws, conn, base, err := s.acquire()
+		if err != nil {
+			if last != nil {
+				return nil, ExecInfo{}, fmt.Errorf("%w (job %s gave up after %v)", err, job.ID, last)
+			}
+			return nil, ExecInfo{}, fmt.Errorf("job %s: %w", job.ID, err)
+		}
+		if conn == nil {
+			conn, err = fleet.DialJob(ws.addr)
+			if err != nil {
+				s.evict(ws, nil)
+				last = err
+				continue
+			}
+			base = 0 // fresh conn: charge the dial handshake to this job
+		}
+		reply, err := conn.Run(payload)
+		if err != nil {
+			if fleet.IsNodeLoss(err) {
+				s.evict(ws, conn)
+				last = err
+				continue
+			}
+			s.release(ws, conn, true)
+			return nil, ExecInfo{}, fmt.Errorf("job %s on %s: %w", job.ID, ws.name, err)
+		}
+		res, info, err := s.verify(job, seq, reply)
+		delta := conn.WireBytes() - base
+		if err != nil {
+			s.release(ws, conn, true)
+			return nil, ExecInfo{}, fmt.Errorf("job %s on %s: %w", job.ID, ws.name, err)
+		}
+		info.Worker = ws.name
+		info.WireBytes = delta
+		s.finish(ws, conn, delta, info.Verified)
+		return res, info, nil
+	}
+	return nil, ExecInfo{}, fmt.Errorf("grid: job %s: %d placements lost: %w", job.ID, s.cfg.Attempts, last)
+}
+
+// verify turns a raw reply into a restored result, recomputing the digest on
+// this side of the wire and — for sampled jobs — re-executing the job locally.
+func (s *Scheduler) verify(job Job, seq *scene.Sequence, reply []byte) (*slam.Result, ExecInfo, error) {
+	r, err := decodeJobResult(reply)
+	if err != nil {
+		return nil, ExecInfo{}, fmt.Errorf("%w: %v", ErrBadResult, err)
+	}
+	sys, err := slam.Restore(bytes.NewReader(r.Snap))
+	if err != nil {
+		return nil, ExecInfo{}, fmt.Errorf("%w: restore: %v", ErrBadResult, err)
+	}
+	res := sys.Finish(job.Seq)
+	sys.Close()
+	if res.Digest() != r.Digest {
+		return nil, ExecInfo{}, ErrDigestMismatch
+	}
+	s.mu.Lock()
+	n := s.completed
+	s.completed++
+	s.mu.Unlock()
+	info := ExecInfo{}
+	if n%s.cfg.SampleEvery == 0 {
+		local, err := slam.Run(job.Cfg, seq)
+		if err != nil {
+			return nil, ExecInfo{}, fmt.Errorf("%w: replay failed: %v", ErrReplayMismatch, err)
+		}
+		if local.Digest() != r.Digest {
+			return nil, ExecInfo{}, ErrReplayMismatch
+		}
+		info.Verified = true
+	}
+	return res, info, nil
+}
+
+// acquire reserves one in-flight slot on the least-loaded reachable worker
+// (ties broken by fewest completed jobs, then declaration order, so serial
+// dispatch round-robins deterministically). It blocks while every reachable
+// worker is at its window, and attempts one redial pass before reporting
+// ErrNoWorkers when none is reachable. The returned base is the connection's
+// wire count before this job (0 when the caller must dial fresh).
+func (s *Scheduler) acquire() (ws *workerState, conn *fleet.JobConn, base int64, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	redialed := false
+	for {
+		if s.closed {
+			return nil, nil, 0, errors.New("grid: scheduler closed")
+		}
+		var best *workerState
+		anyUp := false
+		for _, w := range s.workers {
+			if w.down {
+				continue
+			}
+			anyUp = true
+			if w.inflight >= s.cfg.Window {
+				continue
+			}
+			if best == nil || w.inflight < best.inflight ||
+				(w.inflight == best.inflight && w.jobs < best.jobs) {
+				best = w
+			}
+		}
+		if best != nil {
+			best.inflight++
+			if n := len(best.idle); n > 0 {
+				conn = best.idle[n-1]
+				best.idle = best.idle[:n-1]
+				return best, conn, conn.WireBytes(), nil
+			}
+			return best, nil, 0, nil
+		}
+		if !anyUp {
+			if redialed {
+				return nil, nil, 0, ErrNoWorkers
+			}
+			redialed = true
+			s.mu.Unlock()
+			s.redialDown()
+			s.mu.Lock()
+			continue
+		}
+		s.cond.Wait()
+	}
+}
+
+// redialDown gives every down worker one chance to come back. A successful
+// redial clears the down mark and seeds the idle pool; failures leave the
+// worker down.
+func (s *Scheduler) redialDown() {
+	s.mu.Lock()
+	var down []*workerState
+	for _, ws := range s.workers {
+		if ws.down {
+			down = append(down, ws)
+		}
+	}
+	s.mu.Unlock()
+	for _, ws := range down {
+		c, err := fleet.DialJob(ws.addr)
+		if err != nil {
+			continue
+		}
+		s.mu.Lock()
+		if ws.down && !s.closed {
+			ws.down = false
+			ws.name = c.Name()
+			ws.idle = append(ws.idle, c)
+			s.wire += c.WireBytes()
+			c = nil
+			s.cond.Broadcast()
+		}
+		s.mu.Unlock()
+		if c != nil {
+			c.Close()
+		}
+	}
+}
+
+// evict marks a worker down after node loss, dropping its pooled connections;
+// the failed job's slot is released so blocked dispatchers re-place.
+func (s *Scheduler) evict(ws *workerState, conn *fleet.JobConn) {
+	s.mu.Lock()
+	ws.inflight--
+	if !ws.down {
+		ws.down = true
+		s.evictions++
+	}
+	s.retries++
+	idle := ws.idle
+	ws.idle = nil
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	if conn != nil {
+		conn.Close()
+	}
+	for _, c := range idle {
+		c.Close()
+	}
+}
+
+// release returns a slot (and, when the worker is still healthy, its
+// connection) without recording a completion — the error path for live-worker
+// failures, which must not wedge dispatchers waiting on the window.
+func (s *Scheduler) release(ws *workerState, conn *fleet.JobConn, healthy bool) {
+	s.mu.Lock()
+	ws.inflight--
+	if healthy && conn != nil && !ws.down && !s.closed {
+		ws.idle = append(ws.idle, conn)
+		conn = nil
+	}
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	if conn != nil {
+		conn.Close()
+	}
+}
+
+// finish records a successful job and returns the slot and connection.
+func (s *Scheduler) finish(ws *workerState, conn *fleet.JobConn, delta int64, verified bool) {
+	s.mu.Lock()
+	ws.inflight--
+	ws.jobs++
+	s.jobs++
+	s.wire += delta
+	if verified {
+		s.verified++
+	}
+	if !ws.down && !s.closed {
+		ws.idle = append(ws.idle, conn)
+		conn = nil
+	}
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	if conn != nil {
+		conn.Close()
+	}
+}

@@ -1,0 +1,115 @@
+// Package grid distributes the bench warm phase over the fleet wire
+// protocol: the coordinator side (Scheduler) plugs into bench.RunBatch as an
+// alternative executor and fans resolved RunSpecs out to worker nodes as
+// vJob frames, while the worker side (Worker) rides on fleet.Node's job seam,
+// regenerates each job's procedural dataset deterministically from its
+// scene.Config recipe, drives the pipeline, and ships back the finished
+// system's snapshot plus its Result digest.
+//
+// The gate is the repo's usual one: a distributed warm must render
+// byte-identical reports to local -jobs execution. Three checks enforce it —
+// the fleet frame checksum (transport), a digest recomputation on every
+// restored result (codec), and a sampled local replay of remote runs
+// (execution) — so a worker that diverges for any reason fails the batch
+// loudly instead of poisoning a table.
+package grid
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+
+	"ags/internal/scene"
+	"ags/internal/slam"
+)
+
+// Worker executes grid jobs on a fleet node: plug one into
+// fleet.NodeConfig.Jobs and the node answers vJob frames. Safe for concurrent
+// use (the node runs one handler goroutine per connection); per-recipe
+// dataset generation is singleflighted and cached across jobs, mirroring the
+// bench suite's own dataset cache.
+type Worker struct {
+	mu   sync.Mutex
+	seqs map[string]*seqFlight
+	jobs int
+}
+
+type seqFlight struct {
+	done chan struct{}
+	seq  *scene.Sequence
+	err  error
+}
+
+// NewWorker returns an empty worker.
+func NewWorker() *Worker {
+	return &Worker{seqs: make(map[string]*seqFlight)}
+}
+
+// Jobs returns how many jobs this worker has completed successfully.
+func (w *Worker) Jobs() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.jobs
+}
+
+// sequence returns (generating on first use) the dataset for one recipe.
+// Concurrent jobs wanting the same recipe share a single generation.
+func (w *Worker) sequence(name string, cfg scene.Config) (*scene.Sequence, error) {
+	key := fmt.Sprintf("%s/%dx%d/%d/%d/%x", name, cfg.Width, cfg.Height, cfg.Frames, cfg.Seed, cfg.VFoV)
+	w.mu.Lock()
+	f, ok := w.seqs[key]
+	if ok {
+		w.mu.Unlock()
+		<-f.done
+		return f.seq, f.err
+	}
+	f = &seqFlight{done: make(chan struct{})}
+	w.seqs[key] = f
+	w.mu.Unlock()
+
+	f.seq, f.err = scene.Generate(name, cfg)
+	w.mu.Lock()
+	if f.err != nil {
+		delete(w.seqs, key) // forget failures so later jobs can retry
+	}
+	w.mu.Unlock()
+	close(f.done)
+	return f.seq, f.err
+}
+
+// RunJob decodes one job, regenerates its dataset, drives a slam.System over
+// every frame, and replies with the finished system's snapshot plus the
+// Result digest computed on this side of the wire. Driving the system
+// directly is byte-identical to slam.Run (the session is a thin wrapper over
+// the same per-frame call order), and the snapshot codec is the determinism
+// contract, so the coordinator's restored Result reproduces this digest bit
+// for bit — or the batch fails.
+func (w *Worker) RunJob(payload []byte) ([]byte, error) {
+	job, err := decodeJob(payload)
+	if err != nil {
+		return nil, err
+	}
+	seq, err := w.sequence(job.Seq, job.Scene)
+	if err != nil {
+		return nil, fmt.Errorf("grid: job %s: %w", job.ID, err)
+	}
+	sys := slam.New(job.Cfg, seq.Intr)
+	defer sys.Close()
+	for i, f := range seq.Frames {
+		if err := sys.ProcessFrame(f); err != nil {
+			return nil, fmt.Errorf("grid: job %s: frame %d: %w", job.ID, i, err)
+		}
+	}
+	var snap bytes.Buffer
+	if err := sys.Snapshot(&snap); err != nil {
+		return nil, fmt.Errorf("grid: job %s: snapshot: %w", job.ID, err)
+	}
+	res := sys.Finish(job.Seq)
+	w.mu.Lock()
+	w.jobs++
+	w.mu.Unlock()
+	return encodeJobResult(nil, &jobResult{
+		Digest: res.Digest(),
+		Snap:   snap.Bytes(),
+	}), nil
+}

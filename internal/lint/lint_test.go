@@ -24,7 +24,10 @@ func corpusConfig(t *testing.T) Config {
 	return Config{
 		Dir:              dir,
 		CriticalPrefixes: []string{"x/crit/"},
-		GoroutineSites:   map[string]bool{"x/crit/gr.ApprovedLaunch": true},
+		GoroutineSites: map[string]bool{
+			"x/crit/gr.ApprovedLaunch":              true,
+			"x/crit/gridsched.(*Scheduler).dialAll": true,
+		},
 	}
 }
 

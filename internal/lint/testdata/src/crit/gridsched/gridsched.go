@@ -1,0 +1,34 @@
+// Package gridsched mirrors the grid scheduler's concurrency shape in the
+// golden corpus: a method-valued allowlist entry ((*Scheduler).dialAll, the
+// joined dial fan-out) must be clean, while an unregistered launch on the
+// same receiver still trips goroutine-site.
+package gridsched
+
+import "sync"
+
+// Scheduler is the corpus stand-in for the grid coordinator.
+type Scheduler struct {
+	addrs []string
+}
+
+// dialAll is on the test allowlist: one goroutine per worker address, joined
+// before returning — the reviewed fan-out shape.
+func (s *Scheduler) dialAll() []error {
+	errs := make([]error, len(s.addrs))
+	var wg sync.WaitGroup
+	for i := range s.addrs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = nil
+		}(i)
+	}
+	wg.Wait()
+	return errs
+}
+
+// retryLoose spawns from an unregistered method on the same receiver: being
+// a Scheduler method is not enough, the allowlist is per launch site.
+func (s *Scheduler) retryLoose(done chan struct{}) {
+	go close(done) // want goroutine-site
+}
